@@ -1,0 +1,185 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index). Each benchmark runs the
+// same code path the lnucasim CLI uses to regenerate its artifact; the
+// -bench metrics report the headline quantities so regressions in the
+// reproduced shape are visible from `go test -bench`.
+//
+// The simulation benchmarks use the quick windows and a class-balanced
+// benchmark subset to keep iterations affordable; `lnucasim -mode full`
+// regenerates the full-suite numbers recorded in EXPERIMENTS.md.
+package lightnuca_test
+
+import (
+	"testing"
+
+	"repro/internal/area"
+	"repro/internal/exp"
+	"repro/internal/lnuca"
+	"repro/internal/sram"
+	"repro/internal/tech"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+// benchSubset is a small class-balanced suite for benchmark iterations.
+func benchSubset() []workload.Profile {
+	var out []workload.Profile
+	for _, n := range []string{"403.gcc", "429.mcf", "434.zeusmp", "482.sphinx3"} {
+		p, ok := workload.ByName(n)
+		if !ok {
+			panic("missing " + n)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// BenchmarkTable2Area regenerates the Table II area roll-up.
+func BenchmarkTable2Area(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		r := area.LNUCA(3)
+		last = r.TotalMM2
+	}
+	b.ReportMetric(last, "LN3_mm2")
+	b.ReportMetric(area.Conventional(), "conv_mm2")
+	b.ReportMetric(area.LNUCA(3).NetworkPct, "LN3_network_%")
+}
+
+// BenchmarkFig2Topologies regenerates the three network topologies.
+func BenchmarkFig2Topologies(b *testing.B) {
+	var links int
+	for i := 0; i < b.N; i++ {
+		g := lnuca.MustGeometry(3)
+		links = g.SearchLinks() + g.TransportLinks() + g.ReplacementLinks()
+		_ = g.RenderDOT(lnuca.SearchNet)
+		_ = g.RenderDOT(lnuca.TransportNet)
+		_ = g.RenderDOT(lnuca.ReplacementNet)
+	}
+	b.ReportMetric(float64(links), "total_links")
+}
+
+// BenchmarkFig3CriticalPath regenerates the single-cycle tile analysis.
+func BenchmarkFig3CriticalPath(b *testing.B) {
+	tile := sram.Config{SizeBytes: 8 << 10, Ways: 2, BlockBytes: 32, Ports: 1, Device: tech.HP}
+	var slack float64
+	for i := 0; i < b.N; i++ {
+		r := timing.Analyze(tile)
+		slack = r.HitTransport.Slack()
+	}
+	b.ReportMetric(slack, "slack_FO4")
+	best := timing.LargestOneCycleTile()
+	b.ReportMetric(float64(best.SizeBytes)/1024, "largest_tile_KB")
+}
+
+// runConvMatrix shares one conventional-hierarchy matrix per benchmark
+// iteration; Fig 4(a), Fig 4(b) and Table III all derive from it.
+func runConvMatrix(b *testing.B) []exp.Result {
+	b.Helper()
+	results := exp.Matrix(exp.ConventionalSpecs(), benchSubset(), exp.Quick, 1)
+	if err := exp.FirstError(results); err != nil {
+		b.Fatal(err)
+	}
+	return results
+}
+
+// BenchmarkFig4aIPCConventional regenerates the Fig. 4(a) IPC comparison.
+func BenchmarkFig4aIPCConventional(b *testing.B) {
+	var gainInt, gainFP float64
+	for i := 0; i < b.N; i++ {
+		results := runConvMatrix(b)
+		specs := exp.ConventionalSpecs()
+		bi, bf := exp.HarmonicIPC(results, specs[0])
+		li, lf := exp.HarmonicIPC(results, specs[2]) // LN3
+		gainInt = 100 * (li - bi) / bi
+		gainFP = 100 * (lf - bf) / bf
+	}
+	b.ReportMetric(gainInt, "LN3_int_gain_%")
+	b.ReportMetric(gainFP, "LN3_fp_gain_%")
+}
+
+// BenchmarkFig4bEnergyConventional regenerates the Fig. 4(b) energy bars.
+func BenchmarkFig4bEnergyConventional(b *testing.B) {
+	var savings float64
+	for i := 0; i < b.N; i++ {
+		results := runConvMatrix(b)
+		specs := exp.ConventionalSpecs()
+		base := exp.SumEnergy(results, specs[0])
+		savings = exp.SumEnergy(results, specs[2]).SavingsPercentVs(base)
+	}
+	b.ReportMetric(savings, "LN3_energy_saving_%")
+}
+
+// BenchmarkTable3HitProfile regenerates the Table III hit distribution.
+func BenchmarkTable3HitProfile(b *testing.B) {
+	var le2int, ratio float64
+	for i := 0; i < b.N; i++ {
+		rows := exp.Table3(runConvMatrix(b))
+		for _, r := range rows {
+			if r.Levels == 3 {
+				le2int = r.PctByLevel[2][0]
+				ratio = r.AvgMinIntFP[0]
+			}
+		}
+	}
+	b.ReportMetric(le2int, "LN3_Le2_int_%_of_L2_hits")
+	b.ReportMetric(ratio, "transport_avg_min_ratio")
+}
+
+// runDNMatrix shares one D-NUCA matrix; Fig 5(a) and 5(b) derive from it.
+func runDNMatrix(b *testing.B) []exp.Result {
+	b.Helper()
+	results := exp.Matrix(exp.DNUCASpecs(), benchSubset(), exp.Quick, 1)
+	if err := exp.FirstError(results); err != nil {
+		b.Fatal(err)
+	}
+	return results
+}
+
+// BenchmarkFig5aIPCDNUCA regenerates the Fig. 5(a) IPC comparison.
+func BenchmarkFig5aIPCDNUCA(b *testing.B) {
+	var gainInt, gainFP float64
+	for i := 0; i < b.N; i++ {
+		results := runDNMatrix(b)
+		specs := exp.DNUCASpecs()
+		bi, bf := exp.HarmonicIPC(results, specs[0])
+		li, lf := exp.HarmonicIPC(results, specs[1]) // LN2+DN
+		gainInt = 100 * (li - bi) / bi
+		gainFP = 100 * (lf - bf) / bf
+	}
+	b.ReportMetric(gainInt, "LN2DN_int_gain_%")
+	b.ReportMetric(gainFP, "LN2DN_fp_gain_%")
+}
+
+// BenchmarkFig5bEnergyDNUCA regenerates the Fig. 5(b) energy bars.
+func BenchmarkFig5bEnergyDNUCA(b *testing.B) {
+	var savings float64
+	for i := 0; i < b.N; i++ {
+		results := runDNMatrix(b)
+		specs := exp.DNUCASpecs()
+		base := exp.SumEnergy(results, specs[0])
+		savings = exp.SumEnergy(results, specs[1]).SavingsPercentVs(base)
+	}
+	b.ReportMetric(savings, "LN2DN_energy_saving_%")
+}
+
+// BenchmarkFabricCycleThroughput measures raw simulation speed of the
+// L-NUCA fabric (cycles simulated per second), the quantity that bounds
+// full-mode experiment turnaround.
+func BenchmarkFabricCycleThroughput(b *testing.B) {
+	prof, _ := workload.ByName("403.gcc")
+	r := exp.RunOne(exp.Spec{Kind: exp.ConventionalSpecs()[2].Kind, Levels: 3}, prof,
+		exp.Mode{Name: "bench", Warmup: 100, Measure: 2000}, 1)
+	if r.Err != nil {
+		b.Fatal(r.Err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := exp.RunOne(exp.Spec{Kind: exp.ConventionalSpecs()[2].Kind, Levels: 3}, prof,
+			exp.Mode{Name: "bench", Warmup: 1000, Measure: 10000}, uint64(i+1))
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		b.SetBytes(int64(r.Cycles)) // cycles/s shows as MB/s-style rate
+	}
+}

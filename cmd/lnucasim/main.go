@@ -1,0 +1,114 @@
+// Command lnucasim regenerates the paper's evaluation: Tables I-III and
+// Figures 4-5. Experiments are selected with -exp; -mode full uses the
+// larger simulation windows.
+//
+// Examples:
+//
+//	lnucasim -exp table2
+//	lnucasim -exp fig4a,fig4b -mode full
+//	lnucasim -exp all -benches 403.gcc,482.sphinx3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma list of: table1,table2,table3,fig4a,fig4b,fig5a,fig5b,all")
+		modeFlag  = flag.String("mode", "quick", "quick or full simulation windows")
+		benchFlag = flag.String("benches", "", "comma list of benchmarks (default: the full 28-benchmark suite)")
+		seedFlag  = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	mode := exp.Quick
+	if *modeFlag == "full" {
+		mode = exp.Full
+	} else if *modeFlag != "quick" {
+		fatalf("unknown -mode %q (quick|full)", *modeFlag)
+	}
+
+	benches := workload.Suite()
+	if *benchFlag != "" {
+		benches = benches[:0]
+		for _, name := range strings.Split(*benchFlag, ",") {
+			p, ok := workload.ByName(strings.TrimSpace(name))
+			if !ok {
+				fatalf("unknown benchmark %q; known: %s", name, strings.Join(workload.Names(), ", "))
+			}
+			benches = append(benches, p)
+		}
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	if all || want["table1"] {
+		fmt.Println(exp.Table1())
+	}
+	if all || want["table2"] {
+		fmt.Println(exp.Table2())
+		fmt.Println("paper: L2-256KB 0.91 mm2; LN2 0.46 / LN3 0.86 / LN4 1.59 mm2; network 14.0/18.8/19.0%")
+		fmt.Println()
+	}
+
+	needConv := all || want["fig4a"] || want["fig4b"] || want["table3"]
+	needDN := all || want["fig5a"] || want["fig5b"]
+
+	if needConv {
+		fmt.Printf("running conventional matrix (%d benchmarks x 4 configs, %s mode)...\n",
+			len(benches), mode.Name)
+		results := exp.Matrix(exp.ConventionalSpecs(), benches, mode, *seedFlag)
+		if err := exp.FirstError(results); err != nil {
+			fatalf("simulation failed: %v", err)
+		}
+		if all || want["fig4a"] {
+			fmt.Println(exp.FigIPC("Fig 4(a): IPC harmonic mean, conventional hierarchies", exp.ConventionalSpecs(), results))
+			fmt.Println("paper: LN2..LN4 gain 5.4-6.2% (int), 14.3-15.4% (fp) over L2-256KB")
+			fmt.Println()
+		}
+		if all || want["fig4b"] {
+			fmt.Println(exp.FigEnergy("Fig 4(b): total energy normalized to L2-256KB", exp.ConventionalSpecs(), results))
+			fmt.Println("paper: savings 16.5% (LN2) .. 10.5% (LN4); L3 static dominates")
+			fmt.Println()
+		}
+		if all || want["table3"] {
+			fmt.Println(exp.Table3Render(exp.Table3(results)))
+			fmt.Println("paper: Le2 58.7/40.9% (int/fp), all-levels up to 88.6/87.7%; ratio <= 1.014")
+			fmt.Println()
+		}
+	}
+	if needDN {
+		fmt.Printf("running D-NUCA matrix (%d benchmarks x 4 configs, %s mode)...\n",
+			len(benches), mode.Name)
+		results := exp.Matrix(exp.DNUCASpecs(), benches, mode, *seedFlag)
+		if err := exp.FirstError(results); err != nil {
+			fatalf("simulation failed: %v", err)
+		}
+		if all || want["fig5a"] {
+			fmt.Println(exp.FigIPC("Fig 5(a): IPC harmonic mean, D-NUCA hierarchies", exp.DNUCASpecs(), results))
+			fmt.Println("paper: LN2+DN gains 4.2% (int) / 6.8% (fp), roughly flat in levels")
+			fmt.Println()
+		}
+		if all || want["fig5b"] {
+			fmt.Println(exp.FigEnergy("Fig 5(b): total energy normalized to DN-4x8", exp.DNUCASpecs(), results))
+			fmt.Println("paper: savings 4.25% (LN2+DN) .. 0.2% (LN4+DN)")
+			fmt.Println()
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "lnucasim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,201 @@
+// Command lnucasweep runs the design-space ablations DESIGN.md calls out:
+// the L-NUCA choices the paper motivates but does not always quantify.
+//
+//	lnucasweep -ablate routing    random vs deterministic transport routing
+//	lnucasweep -ablate buffers    link buffer depth 1/2/4
+//	lnucasweep -ablate tilesize   2/4/8/16 KB tiles
+//	lnucasweep -ablate levels     L-NUCA depth 2..6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hier"
+	"repro/internal/lnuca"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+var benchNames = []string{"403.gcc", "429.mcf", "482.sphinx3", "434.zeusmp"}
+
+func main() {
+	ablate := flag.String("ablate", "levels", "routing|buffers|tilesize|levels")
+	instr := flag.Uint64("instr", 30000, "instructions per run")
+	flag.Parse()
+
+	switch *ablate {
+	case "routing":
+		sweepFabric("transport routing", []fabricVariant{
+			{"random (paper)", func(c *lnuca.Config) {}},
+			{"deterministic", func(c *lnuca.Config) { c.DeterministicRouting = true }},
+		}, *instr)
+	case "buffers":
+		sweepFabric("link buffer depth", []fabricVariant{
+			{"1 entry", func(c *lnuca.Config) { c.LinkBufEntries = 1 }},
+			{"2 entries (paper)", func(c *lnuca.Config) { c.LinkBufEntries = 2 }},
+			{"4 entries", func(c *lnuca.Config) { c.LinkBufEntries = 4 }},
+		}, *instr)
+	case "tilesize":
+		sweepFabric("tile size", []fabricVariant{
+			{"2KB tiles", func(c *lnuca.Config) { c.TileBank.SizeBytes = 2 << 10 }},
+			{"4KB tiles", func(c *lnuca.Config) { c.TileBank.SizeBytes = 4 << 10 }},
+			{"8KB tiles (paper)", func(c *lnuca.Config) {}},
+			{"16KB tiles*", func(c *lnuca.Config) { c.TileBank.SizeBytes = 16 << 10 }},
+		}, *instr)
+		fmt.Println("* a 16KB tile does not meet the single-cycle constraint (lnucatopo -timing);")
+		fmt.Println("  the sweep shows the capacity effect alone.")
+	case "levels":
+		sweepLevels(*instr)
+	default:
+		fmt.Fprintf(os.Stderr, "lnucasweep: unknown -ablate %q\n", *ablate)
+		os.Exit(1)
+	}
+}
+
+type fabricVariant struct {
+	name  string
+	tweak func(*lnuca.Config)
+}
+
+// sweepFabric compares fabric variants on raw fabric throughput: a
+// synthetic requester drives the fabric directly so the ablation isolates
+// the network, not the core.
+func sweepFabric(title string, variants []fabricVariant, instr uint64) {
+	t := stats.NewTable("ablation: "+title,
+		"variant", "avg hit latency", "transport ratio", "marked restarts", "hits served")
+	for _, v := range variants {
+		lat, ratio, restarts, hits := driveFabric(v.tweak, instr)
+		t.AddRowf(v.name, lat, ratio, fmt.Sprint(restarts), fmt.Sprint(hits))
+	}
+	fmt.Println(t)
+}
+
+// driveFabric hammers a 3-level fabric with a hot tile working set to
+// expose contention behaviour.
+func driveFabric(tweak func(*lnuca.Config), ops uint64) (avgLat, ratio float64, restarts, hits uint64) {
+	cfg := lnuca.DefaultConfig(3)
+	tweak(&cfg)
+	up := mem.NewPort(16, 16)
+	down := mem.NewPort(16, 16)
+	var ids mem.IDSource
+	f, err := lnuca.NewFabric(cfg, up, down, &ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lnucasweep:", err)
+		os.Exit(1)
+	}
+	k := sim.NewKernel()
+	k.MustRegister(f)
+	drv := &driver{up: up, down: down, total: ops, rng: sim.NewRand(7), blockBytes: cfg.TileBank.BlockBytes}
+	k.MustRegister(drv)
+
+	// Pre-place a working set across the tiles.
+	g := f.Geometry()
+	for i := 0; i < g.NumTiles(); i++ {
+		for j := 0; j < 64; j++ {
+			f.TileBank(i).Fill(mem.Addr(0x100000+(i*64+j)*cfg.TileBank.BlockBytes), false)
+		}
+	}
+	k.Run(uint64(ops) * 50)
+	s := stats.NewSet()
+	f.Collect("ln", s)
+	var latSum uint64
+	for _, c := range drv.lat {
+		latSum += c
+	}
+	if drv.done > 0 {
+		avgLat = float64(latSum) / float64(drv.done)
+	}
+	return avgLat, s.Scalar("ln.transport_ratio"), s.Counter("ln.marked_restarts"), drv.done
+}
+
+// driver issues reads over the pre-placed working set and answers fabric
+// misses instantly (a perfect next level), isolating fabric behaviour.
+type driver struct {
+	up, down   *mem.Port
+	total      uint64
+	rng        *sim.Rand
+	blockBytes int
+
+	issued, done uint64
+	inflight     map[uint64]sim.Cycle
+	lat          []uint64
+}
+
+func (d *driver) Name() string { return "driver" }
+func (d *driver) Eval(k *sim.Kernel) {
+	if d.inflight == nil {
+		d.inflight = map[uint64]sim.Cycle{}
+	}
+	for {
+		r, ok := d.up.Up.Pop()
+		if !ok {
+			break
+		}
+		if t0, ok := d.inflight[r.ID]; ok {
+			d.lat = append(d.lat, uint64(k.Cycle()-t0))
+			delete(d.inflight, r.ID)
+			d.done++
+		}
+	}
+	// Perfect next level: answer fabric fetches immediately.
+	for {
+		req, ok := d.down.Down.Pop()
+		if !ok {
+			break
+		}
+		if req.Kind == mem.Read && d.down.Up.CanPush() {
+			d.down.Up.Push(&mem.Resp{ID: req.ID, Addr: req.Addr})
+		}
+	}
+	// Moderate, bursty demand: enough to expose contention without
+	// drowning the fabric in retries.
+	if len(d.inflight) < 8 && d.issued < d.total && d.up.Down.CanPush() && d.rng.Bool(0.6) {
+		d.issued++
+		addr := mem.Addr(0x100000 + (d.rng.Intn(27*64))*d.blockBytes)
+		d.inflight[d.issued] = k.Cycle()
+		d.up.Down.Push(&mem.Req{ID: d.issued, Addr: addr, Kind: mem.Read, Issued: k.Cycle()})
+	}
+	if d.done >= d.total {
+		k.Stop()
+	}
+}
+func (d *driver) Commit(k *sim.Kernel) {
+	d.up.Down.Tick()
+	d.down.Up.Tick()
+}
+
+// sweepLevels runs full systems over 2..6 levels, reproducing the
+// diminishing-returns claim ("performance increments do not pay off
+// beyond 4 levels").
+func sweepLevels(instr uint64) {
+	t := stats.NewTable("ablation: L-NUCA levels (full system, subset of benchmarks)",
+		"levels", "capacity KB", "IPC hmean", "gain % vs 2 levels")
+	base := 0.0
+	for levels := 2; levels <= 6; levels++ {
+		var ipcs []float64
+		for _, name := range benchNames {
+			prof, _ := workload.ByName(name)
+			sys, err := hier.Build(hier.LNUCAL3, prof, hier.Options{
+				LNUCALevels: levels, Seed: 1, MaxInstr: instr,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lnucasweep:", err)
+				os.Exit(1)
+			}
+			sys.Prewarm()
+			sys.Run(instr * 60)
+			ipcs = append(ipcs, sys.Core.IPC())
+		}
+		hm := stats.HarmonicMean(ipcs)
+		if levels == 2 {
+			base = hm
+		}
+		t.AddRowf(fmt.Sprint(levels), fmt.Sprint(32+8*lnuca.NumTilesForLevels(levels)),
+			hm, stats.SpeedupPercent(hm, base))
+	}
+	fmt.Println(t)
+}

@@ -1,0 +1,100 @@
+// Command lnucatopo prints the L-NUCA structures of Figures 1-3: the
+// network topologies (ASCII latency grid and Graphviz DOT), the hierarchy
+// organizations, and the single-cycle tile timing analysis.
+//
+// Examples:
+//
+//	lnucatopo -levels 3
+//	lnucatopo -levels 4 -net replacement -dot
+//	lnucatopo -timing
+//	lnucatopo -hier
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lnuca"
+	"repro/internal/sram"
+	"repro/internal/tech"
+	"repro/internal/timing"
+)
+
+func main() {
+	var (
+		levels  = flag.Int("levels", 3, "L-NUCA levels (2..6)")
+		netFlag = flag.String("net", "", "render one network as edges: search|transport|replacement")
+		dotFlag = flag.Bool("dot", false, "emit Graphviz DOT instead of text")
+		timingF = flag.Bool("timing", false, "print the Fig. 3(d) tile timing analysis")
+		hierF   = flag.Bool("hier", false, "print the Fig. 1 hierarchy organizations")
+	)
+	flag.Parse()
+
+	if *timingF {
+		printTiming()
+		return
+	}
+	if *hierF {
+		printHierarchies()
+		return
+	}
+
+	g, err := lnuca.NewGeometry(*levels)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lnucatopo:", err)
+		os.Exit(1)
+	}
+	if *netFlag != "" {
+		n, ok := lnuca.NetworkByName(*netFlag)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lnucatopo: unknown network %q\n", *netFlag)
+			os.Exit(1)
+		}
+		if *dotFlag {
+			fmt.Print(g.RenderDOT(n))
+			return
+		}
+		fmt.Printf("%s network of a %d-level L-NUCA (see -dot for Graphviz)\n", *netFlag, *levels)
+		fmt.Print(g.RenderSummary())
+		return
+	}
+	fmt.Print(g.RenderSummary())
+	fmt.Println()
+	fmt.Print(g.RenderLatencyGrid())
+}
+
+func printTiming() {
+	fmt.Println("Fig. 3(d): cache access + one-hop routing in a single 19 FO4 cycle")
+	fmt.Println()
+	for _, kb := range []int{4, 8, 16} {
+		r := timing.Analyze(sram.Config{
+			SizeBytes:  kb << 10,
+			Ways:       2,
+			BlockBytes: 32,
+			Ports:      1,
+			Device:     tech.HP,
+		})
+		fmt.Print(r)
+		fmt.Println()
+	}
+	best := timing.LargestOneCycleTile()
+	fmt.Printf("largest one-cycle tile found: %dKB %d-way %dB (paper: 8KB-2Way-32B)\n",
+		best.SizeBytes/1024, best.Ways, best.BlockBytes)
+}
+
+func printHierarchies() {
+	fmt.Print(`Fig. 1: the four evaluated cache hierarchies
+
+(a) Conventional             (b) L-NUCA + L3
+    L1 32KB                      L-NUCA (r-tile 32KB + 8KB tiles)
+    L2 256KB                       72KB / 144KB / 248KB for 2/3/4 levels
+    L3 8MB                       L3 8MB
+
+(c) D-NUCA                   (d) L-NUCA + D-NUCA
+    L1 32KB                      L-NUCA (as above)
+    D-NUCA 8MB (4x8 banks)       D-NUCA 8MB (4x8 banks)
+
+All backed by main memory: 200-cycle first chunk + 4 cycles per 16B chunk.
+`)
+}

@@ -1,0 +1,38 @@
+// Quickstart: build an L-NUCA hierarchy, run one synthetic SPEC-like
+// workload, and print the headline statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lightnuca "repro"
+)
+
+func main() {
+	res, err := lightnuca.Run(lightnuca.LNUCAPlusL3, "482.sphinx3", lightnuca.Options{
+		Levels: 3,
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s running %s\n", res.Config, res.Benchmark)
+	fmt.Printf("  IPC:               %.3f over %d cycles\n", res.IPC, res.Cycles)
+	fmt.Printf("  r-tile read hits:  %d (misses %d)\n",
+		res.Stats.Counter("ln.rt_read_hits"), res.Stats.Counter("ln.rt_read_misses"))
+	fmt.Printf("  tile hits Le2/Le3: %d / %d\n",
+		res.Stats.Counter("ln.hits_le2"), res.Stats.Counter("ln.hits_le3"))
+	fmt.Printf("  global misses:     %d (to the L3)\n", res.Stats.Counter("ln.global_misses"))
+	fmt.Printf("  transport ratio:   %.4f (1.0 = never contended)\n",
+		res.Stats.Scalar("ln.transport_ratio"))
+	fmt.Printf("  energy:            %s\n", res.Energy)
+
+	fmt.Println()
+	topo, err := lightnuca.Topology(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(topo)
+}

@@ -1,0 +1,35 @@
+// topology_explorer walks the L-NUCA structures of Figures 2 and 3:
+// latency grids for growing fabrics, the three specialized networks, and
+// the single-cycle tile timing budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lightnuca "repro"
+	"repro/internal/lnuca"
+)
+
+func main() {
+	for levels := 2; levels <= 4; levels++ {
+		topo, err := lightnuca.Topology(levels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(topo)
+		fmt.Println()
+	}
+
+	g := lnuca.MustGeometry(3)
+	fmt.Println("Graphviz output for the three networks of Fig. 2 (pipe into `dot -Tsvg`):")
+	for _, name := range []string{"search", "transport", "replacement"} {
+		n, _ := lnuca.NetworkByName(name)
+		dot := g.RenderDOT(n)
+		fmt.Printf("--- %s network: %d bytes of DOT (first line: %.40s...)\n",
+			name, len(dot), dot)
+	}
+
+	fmt.Println()
+	fmt.Println(lightnuca.TileTimingReport())
+}

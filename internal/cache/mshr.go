@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Target is one requester waiting on an outstanding miss. Addr preserves
+// the requester's original address: levels below may use larger blocks,
+// so a fill response must echo the address the requester asked for, not
+// the coarser line that carried it.
+type Target struct {
+	ReqID  uint64
+	Addr   mem.Addr
+	Kind   mem.Kind
+	Issued sim.Cycle
+}
+
+// MSHR tracks one outstanding miss (one block) and the requests merged
+// into it.
+type MSHR struct {
+	Line    mem.Addr
+	Targets []Target
+	// SentDown records whether the downstream fetch has been issued
+	// (allocation and issue can be separated by downstream backpressure).
+	SentDown bool
+}
+
+// MSHRFile is a bounded set of MSHRs. Table I gives 16 entries for
+// L1/L2 (8 for L3) and allows 4 secondary misses to merge per entry.
+type MSHRFile struct {
+	entries      []*MSHR
+	maxEntries   int
+	maxSecondary int
+
+	// Stats
+	Primary, Secondary, MergeRejects, FullStalls uint64
+}
+
+// NewMSHRFile builds a file with maxEntries entries, each accepting
+// maxSecondary merged requests beyond the first.
+func NewMSHRFile(maxEntries, maxSecondary int) *MSHRFile {
+	if maxEntries <= 0 {
+		maxEntries = 1
+	}
+	if maxSecondary < 0 {
+		maxSecondary = 0
+	}
+	return &MSHRFile{
+		entries:      make([]*MSHR, 0, maxEntries),
+		maxEntries:   maxEntries,
+		maxSecondary: maxSecondary,
+	}
+}
+
+// Lookup returns the MSHR for line, or nil.
+func (f *MSHRFile) Lookup(line mem.Addr) *MSHR {
+	for _, m := range f.entries {
+		if m.Line == line {
+			return m
+		}
+	}
+	return nil
+}
+
+// Full reports whether a new primary miss cannot allocate.
+func (f *MSHRFile) Full() bool { return len(f.entries) >= f.maxEntries }
+
+// Len returns the number of live entries.
+func (f *MSHRFile) Len() int { return len(f.entries) }
+
+// Allocate creates an entry for a primary miss on line. It returns nil
+// when the file is full (the caller must stall).
+func (f *MSHRFile) Allocate(line mem.Addr, t Target) *MSHR {
+	if f.Full() {
+		f.FullStalls++
+		return nil
+	}
+	m := &MSHR{Line: line, Targets: []Target{t}}
+	f.entries = append(f.entries, m)
+	f.Primary++
+	return m
+}
+
+// Merge adds a secondary miss to an existing entry. It reports false when
+// the per-entry secondary limit is reached (the caller must stall).
+func (f *MSHRFile) Merge(m *MSHR, t Target) bool {
+	if len(m.Targets)-1 >= f.maxSecondary {
+		f.MergeRejects++
+		return false
+	}
+	m.Targets = append(m.Targets, t)
+	f.Secondary++
+	return true
+}
+
+// Free releases the entry for line and returns its merged targets in
+// arrival order. It returns nil when no entry exists.
+func (f *MSHRFile) Free(line mem.Addr) []Target {
+	for i, m := range f.entries {
+		if m.Line == line {
+			f.entries = append(f.entries[:i], f.entries[i+1:]...)
+			return m.Targets
+		}
+	}
+	return nil
+}
+
+// PendingIssue returns entries whose downstream fetch has not been sent.
+func (f *MSHRFile) PendingIssue() []*MSHR {
+	var out []*MSHR
+	for _, m := range f.entries {
+		if !m.SentDown {
+			out = append(out, m)
+		}
+	}
+	return out
+}

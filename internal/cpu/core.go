@@ -1,0 +1,574 @@
+// Package cpu implements the trace-driven out-of-order core model that
+// stands in for the paper's extended SimpleScalar/Alpha 3.0d (Section IV):
+// a 4-wide machine with a 128-entry ROB, split issue windows, a 64-entry
+// LSQ, a 48-entry store buffer, a combining branch predictor with 8-cycle
+// redirect, a data TLB, and a non-blocking memory interface whose
+// parallelism is bounded by the cache hierarchy's MSHRs.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Class discriminates micro-op types.
+type Class uint8
+
+const (
+	// ClassInt is a single-cycle integer ALU op.
+	ClassInt Class = iota
+	// ClassFP is a floating-point op (multi-cycle).
+	ClassFP
+	// ClassLoad reads memory.
+	ClassLoad
+	// ClassStore writes memory.
+	ClassStore
+	// ClassBranch is a conditional branch.
+	ClassBranch
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassInt:
+		return "int"
+	case ClassFP:
+		return "fp"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Op is one dynamic correct-path micro-operation.
+type Op struct {
+	Class Class
+	// Dep1/Dep2 are backward distances (in dynamic ops) to producers;
+	// zero means no dependency.
+	Dep1, Dep2 int32
+	// Addr is the effective address of loads and stores.
+	Addr mem.Addr
+	// PC identifies the static instruction (predictor indexing).
+	PC uint64
+	// Taken is the resolved direction of branches.
+	Taken bool
+	// Lat overrides the execution latency when non-zero.
+	Lat uint8
+}
+
+// Stream supplies the dynamic instruction trace.
+type Stream interface {
+	// Next returns the next correct-path op; ok=false ends simulation.
+	Next() (op Op, ok bool)
+}
+
+// Config is the core configuration (Table I defaults).
+type Config struct {
+	FetchWidth         int // 4
+	MaxTakenPerCycle   int // 2
+	DecodeQueue        int
+	ROBSize            int // 128
+	LSQSize            int // 64
+	StoreBufSize       int // 48
+	IntIQ, FPIQ, MemIQ int // 32 / 24 / 16
+	IntMemIssue        int // 4 (INT or MEM)
+	FPIssue            int // 4
+	CommitWidth        int // 4
+	MispredictDelay    int // 8
+	IntLatency         int // 1
+	FPLatency          int // 4
+	TLBEntries         int // data TLB entries
+	TLBMissLatency     int // 30
+	PageBytes          int
+}
+
+// DefaultConfig returns the Table I processor.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:       4,
+		MaxTakenPerCycle: 2,
+		DecodeQueue:      16,
+		ROBSize:          128,
+		LSQSize:          64,
+		StoreBufSize:     48,
+		IntIQ:            32,
+		FPIQ:             24,
+		MemIQ:            16,
+		IntMemIssue:      4,
+		FPIssue:          4,
+		CommitWidth:      4,
+		MispredictDelay:  8,
+		IntLatency:       1,
+		FPLatency:        4,
+		TLBEntries:       64,
+		TLBMissLatency:   30,
+		PageBytes:        4 << 10,
+	}
+}
+
+// decoded is a fetched op with its fetch-time prediction outcome.
+type decoded struct {
+	op         Op
+	mispredict bool
+}
+
+// robEntry tracks one in-flight op.
+type robEntry struct {
+	op         Op
+	seq        uint64
+	dispatched sim.Cycle
+	issued     bool
+	done       bool
+	doneAt     sim.Cycle
+	inFlight   bool // load waiting on memory
+	mispredict bool
+	reqID      uint64
+	tlbExtra   int
+}
+
+// Core is the out-of-order processor model. It talks to the first cache
+// level through a mem.Port.
+type Core struct {
+	name   string
+	cfg    Config
+	stream Stream
+	port   *mem.Port
+	ids    *mem.IDSource
+	bpred  *BPred
+
+	// Decode queue between fetch and dispatch.
+	decq []decoded
+
+	// ROB is a ring of in-flight ops; seq of head entry = headSeq.
+	rob     []robEntry
+	headSeq uint64
+	tailSeq uint64 // next seq to allocate
+
+	// Issue queues hold ROB seqs awaiting issue.
+	intQ, fpQ, memQ []uint64
+
+	// lsq tracks in-flight memory ops (loads and stores pre-commit).
+	lsqCount int
+
+	// Store buffer: committed stores draining to the cache.
+	storeBuf []mem.Addr
+
+	// Fetch gating after a mispredicted branch.
+	fetchResumeAt sim.Cycle
+	fetchBlocked  bool
+	blockingSeq   uint64
+
+	// Load completion routing.
+	loadBySeq map[uint64]uint64 // reqID -> seq
+
+	// dTLB: direct-mapped over page numbers.
+	tlb []uint64
+
+	streamDone bool
+	maxInstr   uint64
+
+	// Stats.
+	Committed, Cycles                   uint64
+	LoadsIssued, StoresCommitted        uint64
+	Mispredicts, Branches               uint64
+	TLBMisses                           uint64
+	StallROBFull, StallIQFull, StallLSQ uint64
+	StallSBFull, FetchBlockedCycles     uint64
+	LoadLatencySum, LoadsCompleted      uint64
+}
+
+// New builds a core reading ops from stream and accessing memory via port.
+// maxInstr bounds the committed instruction count (0 = unbounded).
+func New(name string, cfg Config, stream Stream, port *mem.Port, ids *mem.IDSource, maxInstr uint64) *Core {
+	if cfg.FetchWidth <= 0 {
+		cfg = DefaultConfig()
+	}
+	c := &Core{
+		name:      name,
+		cfg:       cfg,
+		stream:    stream,
+		port:      port,
+		ids:       ids,
+		bpred:     NewBPred(),
+		rob:       make([]robEntry, cfg.ROBSize),
+		loadBySeq: make(map[uint64]uint64),
+		tlb:       make([]uint64, cfg.TLBEntries),
+		maxInstr:  maxInstr,
+	}
+	for i := range c.tlb {
+		c.tlb[i] = ^uint64(0)
+	}
+	return c
+}
+
+// Name implements sim.Component.
+func (c *Core) Name() string { return c.name }
+
+// robAt returns the ROB entry for seq.
+func (c *Core) robAt(seq uint64) *robEntry {
+	return &c.rob[seq%uint64(len(c.rob))]
+}
+
+// robOccupancy returns in-flight op count.
+func (c *Core) robOccupancy() int { return int(c.tailSeq - c.headSeq) }
+
+// depReady reports whether the producer at distance d from seq has a
+// visible result at cycle now.
+func (c *Core) depReady(seq uint64, d int32, now sim.Cycle) bool {
+	if d <= 0 {
+		return true
+	}
+	if uint64(d) > seq {
+		return true
+	}
+	p := seq - uint64(d)
+	if p < c.headSeq {
+		return true // already committed
+	}
+	e := c.robAt(p)
+	return e.done && e.doneAt <= now
+}
+
+// Eval implements sim.Component.
+func (c *Core) Eval(k *sim.Kernel) {
+	now := k.Cycle()
+	c.Cycles++
+	c.drainResponses(now)
+	c.commit(now, k)
+	c.drainStoreBuffer(now)
+	c.issue(now)
+	c.dispatch(now)
+	c.fetch(now)
+	if c.streamDone && c.robOccupancy() == 0 && len(c.decq) == 0 {
+		k.Stop()
+	}
+}
+
+// Commit implements sim.Component.
+func (c *Core) Commit(k *sim.Kernel) {
+	c.port.Down.Tick()
+}
+
+// drainResponses completes loads whose data arrived.
+func (c *Core) drainResponses(now sim.Cycle) {
+	for {
+		resp, ok := c.port.Up.Pop()
+		if !ok {
+			return
+		}
+		seq, ok := c.loadBySeq[resp.ID]
+		if !ok {
+			continue // store ack or stale
+		}
+		delete(c.loadBySeq, resp.ID)
+		e := c.robAt(seq)
+		if e.seq == seq && e.inFlight {
+			e.inFlight = false
+			e.done = true
+			e.doneAt = now + sim.Cycle(e.tlbExtra)
+			c.LoadLatencySum += uint64(e.doneAt - e.dispatched)
+			c.LoadsCompleted++
+		}
+	}
+}
+
+// commit retires completed ops in order.
+func (c *Core) commit(now sim.Cycle, k *sim.Kernel) {
+	for n := 0; n < c.cfg.CommitWidth && c.headSeq < c.tailSeq; n++ {
+		e := c.robAt(c.headSeq)
+		if !e.done || e.doneAt > now {
+			return
+		}
+		if e.op.Class == ClassStore {
+			if len(c.storeBuf) >= c.cfg.StoreBufSize {
+				c.StallSBFull++
+				return
+			}
+			c.storeBuf = append(c.storeBuf, e.op.Addr)
+			c.StoresCommitted++
+			c.lsqCount--
+		}
+		if e.op.Class == ClassLoad {
+			c.lsqCount--
+		}
+		c.headSeq++
+		c.Committed++
+		if c.maxInstr > 0 && c.Committed >= c.maxInstr {
+			k.Stop()
+			return
+		}
+	}
+}
+
+// drainStoreBuffer sends one committed store per cycle to the cache.
+func (c *Core) drainStoreBuffer(now sim.Cycle) {
+	if len(c.storeBuf) == 0 || !c.port.Down.CanPush() {
+		return
+	}
+	addr := c.storeBuf[0]
+	c.storeBuf = c.storeBuf[1:]
+	c.port.Down.Push(&mem.Req{ID: c.ids.Next(), Addr: addr, Kind: mem.Write, Issued: now})
+}
+
+// issueFrom issues up to width ready ops from q (oldest first), returning
+// the updated queue and the number of issue slots consumed.
+func (c *Core) issueFrom(q []uint64, width int, now sim.Cycle) ([]uint64, int) {
+	if width <= 0 {
+		return q, 0
+	}
+	used := 0
+	kept := q[:0]
+	for _, seq := range q {
+		if used >= width {
+			kept = append(kept, seq)
+			continue
+		}
+		e := c.robAt(seq)
+		if e.dispatched >= now || !c.depReady(seq, e.op.Dep1, now) || !c.depReady(seq, e.op.Dep2, now) {
+			kept = append(kept, seq)
+			continue
+		}
+		if !c.tryExecute(e, now) {
+			kept = append(kept, seq)
+			continue
+		}
+		used++
+	}
+	return kept, used
+}
+
+// tryExecute starts execution of a ready op; false means structural stall
+// (e.g. the memory port is full).
+func (c *Core) tryExecute(e *robEntry, now sim.Cycle) bool {
+	switch e.op.Class {
+	case ClassLoad:
+		extra := c.tlbLookup(e.op.Addr)
+		if c.storeForward(e.op.Addr) {
+			e.issued = true
+			e.done = true
+			e.doneAt = now + 2 + sim.Cycle(extra)
+			c.LoadsIssued++
+			return true
+		}
+		if !c.port.Down.CanPush() {
+			return false
+		}
+		id := c.ids.Next()
+		c.port.Down.Push(&mem.Req{ID: id, Addr: e.op.Addr, Kind: mem.Read, Issued: now})
+		c.loadBySeq[id] = e.seq
+		e.issued = true
+		e.inFlight = true
+		e.reqID = id
+		e.tlbExtra = extra // TLB walk delays data visibility
+		c.LoadsIssued++
+		return true
+	case ClassStore:
+		_ = c.tlbLookup(e.op.Addr)
+		e.issued = true
+		e.done = true
+		e.doneAt = now + 1
+		return true
+	case ClassFP:
+		lat := c.cfg.FPLatency
+		if e.op.Lat > 0 {
+			lat = int(e.op.Lat)
+		}
+		e.issued = true
+		e.done = true
+		e.doneAt = now + sim.Cycle(lat)
+		return true
+	default: // Int, Branch
+		lat := c.cfg.IntLatency
+		if e.op.Lat > 0 {
+			lat = int(e.op.Lat)
+		}
+		e.issued = true
+		e.done = true
+		e.doneAt = now + sim.Cycle(lat)
+		if e.op.Class == ClassBranch && e.mispredict {
+			// Redirect: fetch resumes after the misprediction delay.
+			c.fetchResumeAt = now + sim.Cycle(lat) + sim.Cycle(c.cfg.MispredictDelay)
+			c.fetchBlocked = false
+		}
+		return true
+	}
+}
+
+// issue runs both issue groups. INT and MEM share the 4 integer-side
+// slots (Table I: "4(INT or MEM)"); memory ops get priority since loads
+// gate dependents.
+func (c *Core) issue(now sim.Cycle) {
+	var used int
+	c.memQ, used = c.issueFrom(c.memQ, c.cfg.IntMemIssue, now)
+	c.intQ, _ = c.issueFrom(c.intQ, c.cfg.IntMemIssue-used, now)
+	c.fpQ, _ = c.issueFrom(c.fpQ, c.cfg.FPIssue, now)
+}
+
+// dispatch moves decoded ops into the ROB and issue queues.
+func (c *Core) dispatch(now sim.Cycle) {
+	for len(c.decq) > 0 {
+		if c.robOccupancy() >= c.cfg.ROBSize {
+			c.StallROBFull++
+			return
+		}
+		op := c.decq[0].op
+		var q *[]uint64
+		var limit int
+		switch op.Class {
+		case ClassFP:
+			q, limit = &c.fpQ, c.cfg.FPIQ
+		case ClassLoad, ClassStore:
+			q, limit = &c.memQ, c.cfg.MemIQ
+			if c.lsqCount >= c.cfg.LSQSize {
+				c.StallLSQ++
+				return
+			}
+		default:
+			q, limit = &c.intQ, c.cfg.IntIQ
+		}
+		if len(*q) >= limit {
+			c.StallIQFull++
+			return
+		}
+		dec := c.decq[0]
+		c.decq = c.decq[1:]
+		seq := c.tailSeq
+		c.tailSeq++
+		*c.robAt(seq) = robEntry{op: op, seq: seq, dispatched: now, mispredict: dec.mispredict}
+		if op.Class == ClassLoad || op.Class == ClassStore {
+			c.lsqCount++
+		}
+		if op.Class == ClassBranch {
+			c.Branches++
+			if dec.mispredict {
+				c.Mispredicts++
+				c.blockingSeq = seq
+			}
+		}
+		*q = append(*q, seq)
+	}
+}
+
+// fetch brings up to FetchWidth ops per cycle into the decode queue,
+// stopping at the configured taken-branch limit and at mispredicted
+// branches (trace-driven redirect model).
+func (c *Core) fetch(now sim.Cycle) {
+	if c.streamDone {
+		return
+	}
+	if c.fetchBlocked || now < c.fetchResumeAt {
+		c.FetchBlockedCycles++
+		return
+	}
+	taken := 0
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.decq) >= c.cfg.DecodeQueue {
+			return
+		}
+		op, ok := c.stream.Next()
+		if !ok {
+			c.streamDone = true
+			return
+		}
+		dec := decoded{op: op}
+		if op.Class == ClassBranch {
+			// Predict and train at fetch; a misprediction gates fetch
+			// until the branch resolves (trace-driven redirect model).
+			dec.mispredict = c.bpred.Update(op.PC, op.Taken)
+			if dec.mispredict {
+				c.fetchBlocked = true
+			}
+		}
+		c.decq = append(c.decq, dec)
+		if dec.mispredict {
+			return
+		}
+		if op.Class == ClassBranch && op.Taken {
+			taken++
+			if taken >= c.cfg.MaxTakenPerCycle {
+				return
+			}
+		}
+	}
+}
+
+// storeForward reports whether an older store to the same line can
+// forward (store buffer or in-flight LSQ stores).
+func (c *Core) storeForward(a mem.Addr) bool {
+	line := a.Line(32)
+	for _, s := range c.storeBuf {
+		if s.Line(32) == line {
+			return true
+		}
+	}
+	for seq := c.headSeq; seq < c.tailSeq; seq++ {
+		e := c.robAt(seq)
+		if e.op.Class == ClassStore && e.issued && e.op.Addr.Line(32) == line {
+			return true
+		}
+	}
+	return false
+}
+
+// tlbLookup returns the extra latency of a TLB miss (0 on hit) and
+// installs the translation.
+func (c *Core) tlbLookup(a mem.Addr) int {
+	page := uint64(a) / uint64(c.cfg.PageBytes)
+	idx := page % uint64(len(c.tlb))
+	if c.tlb[idx] == page {
+		return 0
+	}
+	c.tlb[idx] = page
+	c.TLBMisses++
+	return c.cfg.TLBMissLatency
+}
+
+// IPC returns committed instructions per cycle.
+func (c *Core) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Committed) / float64(c.Cycles)
+}
+
+// AvgLoadLatency returns mean load dispatch-to-complete cycles.
+func (c *Core) AvgLoadLatency() float64 {
+	if c.LoadsCompleted == 0 {
+		return 0
+	}
+	return float64(c.LoadLatencySum) / float64(c.LoadsCompleted)
+}
+
+// BranchAccuracy returns the predictor accuracy.
+func (c *Core) BranchAccuracy() float64 { return c.bpred.Accuracy() }
+
+// Done reports whether the committed-instruction budget is exhausted.
+func (c *Core) Done() bool {
+	return c.maxInstr > 0 && c.Committed >= c.maxInstr
+}
+
+// Collect adds core counters to s under prefix.
+func (c *Core) Collect(prefix string, s *stats.Set) {
+	s.Add(prefix+".committed", c.Committed)
+	s.Add(prefix+".cycles", c.Cycles)
+	s.Add(prefix+".loads", c.LoadsIssued)
+	s.Add(prefix+".stores", c.StoresCommitted)
+	s.Add(prefix+".branches", c.Branches)
+	s.Add(prefix+".mispredicts", c.Mispredicts)
+	s.Add(prefix+".tlb_misses", c.TLBMisses)
+	s.Add(prefix+".stall_rob", c.StallROBFull)
+	s.Add(prefix+".stall_iq", c.StallIQFull)
+	s.Add(prefix+".stall_lsq", c.StallLSQ)
+	s.Add(prefix+".stall_sb", c.StallSBFull)
+	s.Add(prefix+".fetch_blocked", c.FetchBlockedCycles)
+	s.SetScalar(prefix+".ipc", c.IPC())
+	s.SetScalar(prefix+".bpred_accuracy", c.BranchAccuracy())
+	s.SetScalar(prefix+".avg_load_latency", c.AvgLoadLatency())
+}

@@ -1,0 +1,84 @@
+package dnuca
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestPromotionAblation: with gradual migration disabled, repeated hits
+// to the same block stay in the tail row and stay slow — the mechanism
+// D-NUCA's dynamic placement (and, transitively, the L-NUCA comparison)
+// rests on.
+func TestPromotionAblation(t *testing.T) {
+	measure := func(promote bool) (lat sim.Cycle, promotions uint64) {
+		cfg := DefaultConfig()
+		cfg.Promote = promote
+		h := newDNHarness(t, cfg)
+		addr := mem.Addr(0x70000)
+		h.read(1, addr)
+		h.runUntil(t, 1, 2000)
+		for i := 0; i < 300; i++ {
+			h.k.Step()
+		}
+		// Several hits give migration a chance (or not).
+		for n := 0; n < 4; n++ {
+			h.read(uint64(10+n), addr)
+			h.runUntil(t, uint64(10+n), 1500)
+			for i := 0; i < 300; i++ {
+				h.k.Step()
+			}
+		}
+		start := h.k.Cycle()
+		h.read(99, addr)
+		done := h.runUntil(t, 99, 1500)
+		return done - start, h.d.Promotions
+	}
+	latOn, promOn := measure(true)
+	latOff, promOff := measure(false)
+	if promOff != 0 {
+		t.Fatalf("promotions happened with migration disabled: %d", promOff)
+	}
+	if promOn == 0 {
+		t.Fatal("no promotions with migration enabled")
+	}
+	if latOn >= latOff {
+		t.Fatalf("migration did not reduce hit latency: %d (on) vs %d (off)", latOn, latOff)
+	}
+}
+
+// TestBankSetIsolation: traffic to one column must not access banks of
+// other columns (simple mapping).
+func TestBankSetIsolation(t *testing.T) {
+	h := newDNHarness(t, DefaultConfig())
+	// All addresses in column 0: line address multiples of 8*128.
+	var id uint64
+	for i := 0; i < 10; i++ {
+		id++
+		h.read(id, mem.Addr(i*8*128*1024))
+		h.runUntil(t, id, 3000)
+	}
+	for i := 0; i < 500; i++ {
+		h.k.Step()
+	}
+	for col := 1; col < 8; col++ {
+		for row := 0; row < 4; row++ {
+			if h.d.BankArray(col, row).Occupancy() != 0 {
+				t.Fatalf("column-%d bank row %d holds blocks from column-0 traffic", col, row)
+			}
+		}
+	}
+}
+
+// TestMulticastSearchTouchesWholeColumn: an SS-performance search probes
+// all four banks of the bank set.
+func TestMulticastSearchTouchesWholeColumn(t *testing.T) {
+	h := newDNHarness(t, DefaultConfig())
+	h.read(1, 0x12345&^0x7F)
+	h.runUntil(t, 1, 3000)
+	// Cold miss: all 4 banks of the column looked up (and nacked).
+	if h.d.BankAccesses < 4 {
+		t.Fatalf("bank accesses = %d, want >= 4 (multicast)", h.d.BankAccesses)
+	}
+}

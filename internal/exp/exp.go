@@ -1,0 +1,201 @@
+// Package exp is the experiment harness: it runs benchmark x configuration
+// matrices and regenerates every table and figure of the paper's
+// evaluation (Tables II and III, Figures 4 and 5), in the same units the
+// paper reports.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/hier"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Mode scales simulation length. The paper simulates 100M instructions
+// after 200M of warmup per benchmark; scaled-down windows preserve the
+// shape on the synthetic workloads.
+type Mode struct {
+	Name    string
+	Warmup  uint64
+	Measure uint64
+}
+
+// Quick is the test/bench default.
+var Quick = Mode{Name: "quick", Warmup: 4_000, Measure: 20_000}
+
+// Full is the CLI default for reproducing the figures.
+var Full = Mode{Name: "full", Warmup: 40_000, Measure: 200_000}
+
+// Spec names one simulation configuration.
+type Spec struct {
+	Kind   hier.Kind
+	Levels int // L-NUCA levels where applicable
+}
+
+// Label renders the configuration name used in the paper.
+func (s Spec) Label() string {
+	switch s.Kind {
+	case hier.LNUCAL3:
+		return fmt.Sprintf("LN%d-%dKB", s.Levels, lnTotalKB(s.Levels))
+	case hier.LNUCADNUCA:
+		return fmt.Sprintf("LN%d + DN-4x8", s.Levels)
+	default:
+		return s.Kind.String()
+	}
+}
+
+func lnTotalKB(levels int) int {
+	n := 0
+	for k := 2; k <= levels; k++ {
+		n += 4*(k-1) + 1
+	}
+	return 32 + 8*n
+}
+
+// Result is one benchmark x configuration measurement.
+type Result struct {
+	Spec   Spec
+	Bench  workload.Profile
+	IPC    float64
+	Cycles uint64
+	Stats  *stats.Set
+	Energy power.Breakdown
+	Err    error
+}
+
+// RunOne executes a single measurement: build, functional prewarm, timed
+// warmup window, then the measured window (delta statistics).
+func RunOne(spec Spec, prof workload.Profile, mode Mode, seed uint64) Result {
+	res := Result{Spec: spec, Bench: prof}
+	sys, err := hier.Build(spec.Kind, prof, hier.Options{
+		LNUCALevels: spec.Levels,
+		Seed:        seed,
+		MaxInstr:    mode.Warmup + mode.Measure,
+	})
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	sys.Prewarm()
+
+	// Warmup window: run until the core commits the warmup budget.
+	const chunk = 2048
+	for sys.Core.Committed < mode.Warmup && !sys.Kernel.Stopped() {
+		sys.Run(chunk)
+	}
+	startStats := sys.Collect()
+	startCycles := sys.Core.Cycles
+
+	for !sys.Kernel.Stopped() {
+		sys.Run(chunk)
+	}
+	endStats := sys.Collect()
+	res.Stats = stats.Delta(endStats, startStats)
+	res.Cycles = sys.Core.Cycles - startCycles
+	committed := res.Stats.Counter("core.committed")
+	if res.Cycles > 0 {
+		res.IPC = float64(committed) / float64(res.Cycles)
+	}
+	res.Energy = sys.Energy(res.Stats, res.Cycles)
+	return res
+}
+
+// Matrix runs every benchmark under every spec, in parallel across
+// CPU cores; each run is internally deterministic given the seed.
+func Matrix(specs []Spec, benches []workload.Profile, mode Mode, seed uint64) []Result {
+	type job struct{ si, bi int }
+	jobs := make(chan job)
+	out := make([]Result, len(specs)*len(benches))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(specs)*len(benches) {
+		workers = len(specs) * len(benches)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				out[j.si*len(benches)+j.bi] = RunOne(specs[j.si], benches[j.bi], mode, seed)
+			}
+		}()
+	}
+	for si := range specs {
+		for bi := range benches {
+			jobs <- job{si, bi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// byClass splits results for one spec into INT and FP IPC lists.
+func byClass(results []Result, spec Spec) (intIPC, fpIPC []float64) {
+	for _, r := range results {
+		if r.Spec != spec || r.Err != nil {
+			continue
+		}
+		if r.Bench.Class == workload.Int {
+			intIPC = append(intIPC, r.IPC)
+		} else {
+			fpIPC = append(fpIPC, r.IPC)
+		}
+	}
+	return
+}
+
+// HarmonicIPC returns the per-class harmonic mean IPC for a spec, the
+// metric of Figures 4(a) and 5(a).
+func HarmonicIPC(results []Result, spec Spec) (intHM, fpHM float64) {
+	i, f := byClass(results, spec)
+	return stats.HarmonicMean(i), stats.HarmonicMean(f)
+}
+
+// SumEnergy accumulates the suite-wide energy breakdown for a spec
+// (the paper averages energies over all benchmarks; summing before
+// normalizing is the same up to the constant factor).
+func SumEnergy(results []Result, spec Spec) power.Breakdown {
+	var total power.Breakdown
+	for _, r := range results {
+		if r.Spec != spec || r.Err != nil {
+			continue
+		}
+		for b := power.Bucket(0); b < 4; b++ {
+			total.Add(b, r.Energy.Get(b))
+		}
+	}
+	return total
+}
+
+// SumCounter totals a counter over one spec's results, split by class.
+func SumCounter(results []Result, spec Spec, key string) (intSum, fpSum uint64) {
+	for _, r := range results {
+		if r.Spec != spec || r.Err != nil {
+			continue
+		}
+		if r.Bench.Class == workload.Int {
+			intSum += r.Stats.Counter(key)
+		} else {
+			fpSum += r.Stats.Counter(key)
+		}
+	}
+	return
+}
+
+// FirstError returns the first failed run, if any.
+func FirstError(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s / %s: %w", r.Spec.Label(), r.Bench.Name, r.Err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,456 @@
+// Package hier assembles the four cache hierarchies the paper evaluates
+// (Fig. 1): the conventional three-level baseline, the L-NUCA backed by
+// the same L3, the D-NUCA baseline, and the L-NUCA backed by the D-NUCA.
+// It also owns the Table I energy constants and converts run statistics
+// into the Fig. 4(b)/5(b) energy breakdowns.
+package hier
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/dnuca"
+	"repro/internal/lnuca"
+	"repro/internal/mem"
+	"repro/internal/nocpower"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Kind selects a hierarchy organization.
+type Kind uint8
+
+const (
+	// Conventional is L1 32KB / L2 256KB / L3 8MB (Fig. 1(a)).
+	Conventional Kind = iota
+	// LNUCAL3 replaces the L2 with an L-NUCA (Fig. 1(b)).
+	LNUCAL3
+	// DNUCAOnly is L1 / D-NUCA 8MB (Fig. 1(c)).
+	DNUCAOnly
+	// LNUCADNUCA inserts an L-NUCA between L1 and D-NUCA (Fig. 1(d)).
+	LNUCADNUCA
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Conventional:
+		return "L2-256KB"
+	case LNUCAL3:
+		return "LN+L3"
+	case DNUCAOnly:
+		return "DN-4x8"
+	case LNUCADNUCA:
+		return "LN+DN-4x8"
+	default:
+		return "hier?"
+	}
+}
+
+// Table I energy constants (pJ per access, mW leakage).
+const (
+	L1ReadPJ, L1LeakMW     = 21.2, 12.8
+	L2ReadPJ, L2LeakMW     = 47.2, 66.9
+	TileReadPJ, TileLeakMW = 14.0, 2.2
+	L3ReadPJ, L3LeakMW     = 20.9, 600.0
+	DNReadPJ, DNBankLeakMW = 131.2, 33.5
+	TileTagProbePJ         = 0.25 * TileReadPJ // miss lookups stop at tags
+	TileFillPJ             = 1.1 * TileReadPJ
+	UComparePJ             = 0.5
+	RouterLeakPerTileMW    = 0.15
+)
+
+// Link energy specs: L-NUCA links are message-wide and a tile-pitch long;
+// the D-NUCA's 256-bit links span 256KB banks.
+var (
+	searchLink    = nocpower.LinkSpec{Bits: 48, LengthMM: 0.25}
+	transportLink = nocpower.LinkSpec{Bits: 32*8 + 40, LengthMM: 0.25}
+	dnucaLink     = nocpower.LinkSpec{Bits: 256, LengthMM: 1.0}
+)
+
+// Options tune a built system.
+type Options struct {
+	// LNUCALevels selects 2..4 (72KB..248KB) fabrics; ignored otherwise.
+	LNUCALevels int
+	// Seed drives all randomized behaviour (routing, workload).
+	Seed uint64
+	// Core overrides the processor model (zero value = Table I default).
+	Core cpu.Config
+	// MaxInstr bounds committed instructions (the paper runs 100M after
+	// warmup; scaled-down runs preserve the shape).
+	MaxInstr uint64
+}
+
+// System is one fully-wired simulated machine.
+type System struct {
+	Kind   Kind
+	Name   string
+	Kernel *sim.Kernel
+	Core   *cpu.Core
+	L1     *cache.Controller // conventional / D-NUCA hierarchies
+	L2     *cache.Controller // conventional only
+	L3     *cache.Controller // conventional and LNUCAL3
+	Fabric *lnuca.Fabric     // LNUCAL3 and LNUCADNUCA
+	DN     *dnuca.DNUCA      // DNUCAOnly and LNUCADNUCA
+	Memory *mem.MainMemory
+
+	ids     mem.IDSource
+	levels  int
+	profile workload.Profile
+}
+
+// l1Config returns the Table I L1 as a write-through controller.
+func l1Config() cache.ControllerConfig {
+	return cache.ControllerConfig{
+		Name:             "L1",
+		Bank:             cache.BankConfig{SizeBytes: 32 << 10, Ways: 4, BlockBytes: 32},
+		CompletionCycles: 0, // port crossings model the 2-cycle completion
+		InitiationCycles: 1,
+		Ports:            2,
+		Policy:           cache.WriteThrough,
+		Mode:             cache.Parallel,
+		MSHREntries:      16,
+		MSHRSecondary:    4,
+		WriteBufEntries:  8,
+	}
+}
+
+// l2Config returns the Table I 256KB L2.
+func l2Config() cache.ControllerConfig {
+	return cache.ControllerConfig{
+		Name:             "L2",
+		Bank:             cache.BankConfig{SizeBytes: 256 << 10, Ways: 8, BlockBytes: 64},
+		CompletionCycles: 4,
+		InitiationCycles: 2,
+		Ports:            1,
+		Policy:           cache.CopyBack,
+		Mode:             cache.Serial,
+		MSHREntries:      16,
+		MSHRSecondary:    4,
+		WriteBufEntries:  32,
+		BusCycles:        2, // 64B over the L1-L2 link
+		TagMissCycles:    3, // serial-mode tag path before forwarding
+	}
+}
+
+// l3Config returns the Table I 8MB L3.
+func l3Config() cache.ControllerConfig {
+	return cache.ControllerConfig{
+		Name:             "L3",
+		Bank:             cache.BankConfig{SizeBytes: 8 << 20, Ways: 16, BlockBytes: 128},
+		CompletionCycles: 20,
+		InitiationCycles: 15,
+		Ports:            1,
+		Policy:           cache.CopyBack,
+		Mode:             cache.Serial,
+		MSHREntries:      8,
+		MSHRSecondary:    4,
+		WriteBufEntries:  32,
+		BusCycles:        4, // 128B block return to the L2/L-NUCA
+		TagMissCycles:    4,
+	}
+}
+
+// Build wires a complete system running the given workload profile.
+func Build(kind Kind, prof workload.Profile, opt Options) (*System, error) {
+	if opt.LNUCALevels == 0 {
+		opt.LNUCALevels = 3
+	}
+	if opt.LNUCALevels < 2 || opt.LNUCALevels > 6 {
+		return nil, fmt.Errorf("hier: unsupported L-NUCA levels %d", opt.LNUCALevels)
+	}
+	s := &System{
+		Kind:    kind,
+		Kernel:  sim.NewKernel(),
+		levels:  opt.LNUCALevels,
+		profile: prof,
+	}
+	s.Name = kind.String()
+	if kind == LNUCAL3 || kind == LNUCADNUCA {
+		s.Name = fmt.Sprintf("LN%d", opt.LNUCALevels)
+		if kind == LNUCADNUCA {
+			s.Name += "+DN-4x8"
+		} else {
+			s.Name += fmt.Sprintf("-%dKB", 32+8*lnuca.NumTilesForLevels(opt.LNUCALevels))
+		}
+	}
+
+	gen, err := workload.NewGenerator(prof, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	cpuPort := mem.NewPort(8, 8)
+	coreCfg := opt.Core
+	if coreCfg.FetchWidth == 0 {
+		coreCfg = cpu.DefaultConfig()
+	}
+	s.Core = cpu.New("core", coreCfg, gen, cpuPort, &s.ids, opt.MaxInstr)
+	s.Kernel.MustRegister(s.Core)
+
+	memPort := mem.NewPort(8, 8)
+	switch kind {
+	case Conventional:
+		l1l2 := mem.NewPort(8, 8)
+		l2l3 := mem.NewPort(8, 8)
+		s.L1 = cache.NewController(l1Config(), cpuPort, l1l2, &s.ids)
+		s.L2 = cache.NewController(l2Config(), l1l2, l2l3, &s.ids)
+		s.L3 = cache.NewController(l3Config(), l2l3, memPort, &s.ids)
+		s.Kernel.MustRegister(s.L1)
+		s.Kernel.MustRegister(s.L2)
+		s.Kernel.MustRegister(s.L3)
+	case LNUCAL3:
+		lnl3 := mem.NewPort(8, 8)
+		fcfg := lnuca.DefaultConfig(opt.LNUCALevels)
+		fcfg.Seed = opt.Seed | 1
+		s.Fabric, err = lnuca.NewFabric(fcfg, cpuPort, lnl3, &s.ids)
+		if err != nil {
+			return nil, err
+		}
+		s.L3 = cache.NewController(l3Config(), lnl3, memPort, &s.ids)
+		s.Kernel.MustRegister(s.Fabric)
+		s.Kernel.MustRegister(s.L3)
+	case DNUCAOnly:
+		l1dn := mem.NewPort(8, 8)
+		s.L1 = cache.NewController(l1Config(), cpuPort, l1dn, &s.ids)
+		s.DN, err = dnuca.New(dnuca.DefaultConfig(), l1dn, memPort, &s.ids)
+		if err != nil {
+			return nil, err
+		}
+		s.Kernel.MustRegister(s.L1)
+		s.Kernel.MustRegister(s.DN)
+	case LNUCADNUCA:
+		lndn := mem.NewPort(8, 8)
+		fcfg := lnuca.DefaultConfig(opt.LNUCALevels)
+		fcfg.Seed = opt.Seed | 1
+		s.Fabric, err = lnuca.NewFabric(fcfg, cpuPort, lndn, &s.ids)
+		if err != nil {
+			return nil, err
+		}
+		s.DN, err = dnuca.New(dnuca.DefaultConfig(), lndn, memPort, &s.ids)
+		if err != nil {
+			return nil, err
+		}
+		s.Kernel.MustRegister(s.Fabric)
+		s.Kernel.MustRegister(s.DN)
+	default:
+		return nil, fmt.Errorf("hier: unknown kind %d", kind)
+	}
+	s.Memory = mem.NewMainMemory("dram", mem.DefaultMainMemoryConfig(), memPort)
+	s.Kernel.MustRegister(s.Memory)
+	return s, nil
+}
+
+// Prewarm performs functional warmup: it installs the workload's hot,
+// warm and cool regions into the structures that would hold them in
+// steady state, the same role SimPoint-style checkpoint warming plays for
+// the paper's 200M-instruction warmup.
+func (s *System) Prewarm() {
+	hotB, hotKB := workload.HotRange(s.profile)
+	warmB, warmKB := workload.WarmRange(s.profile)
+	coolB, coolKB := workload.CoolRange(s.profile)
+
+	fill32 := func(bank *cache.Bank, base mem.Addr, kb int) {
+		for off := 0; off < kb<<10; off += 32 {
+			bank.Fill(base+mem.Addr(off), false)
+		}
+	}
+	switch s.Kind {
+	case Conventional:
+		fill32(s.L1.Bank(), hotB, hotKB)
+		for off := 0; off < warmKB<<10; off += 64 {
+			s.L2.Bank().Fill(warmB+mem.Addr(off), false)
+		}
+		for off := 0; off < (coolKB+warmKB+hotKB)<<10; off += 128 {
+			// L3 is inclusive: hot+warm+cool all present.
+			a := mem.Addr(off)
+			switch {
+			case off < coolKB<<10:
+				a += coolB
+			case off < (coolKB+warmKB)<<10:
+				a = warmB + a - mem.Addr(coolKB<<10)
+			default:
+				a = hotB + a - mem.Addr((coolKB+warmKB)<<10)
+			}
+			s.L3.Bank().Fill(a, false)
+		}
+	case LNUCAL3:
+		fill32(s.Fabric.RTileBank(), hotB, hotKB)
+		s.prewarmTiles(warmB, warmKB)
+		for off := 0; off < (coolKB+warmKB+hotKB)<<10; off += 128 {
+			a := mem.Addr(off)
+			switch {
+			case off < coolKB<<10:
+				a += coolB
+			case off < (coolKB+warmKB)<<10:
+				a = warmB + a - mem.Addr(coolKB<<10)
+			default:
+				a = hotB + a - mem.Addr((coolKB+warmKB)<<10)
+			}
+			s.L3.Bank().Fill(a, false)
+		}
+	case DNUCAOnly:
+		fill32(s.L1.Bank(), hotB, hotKB)
+		s.prewarmDN(hotB, hotKB, warmB, warmKB, coolB, coolKB)
+	case LNUCADNUCA:
+		fill32(s.Fabric.RTileBank(), hotB, hotKB)
+		s.prewarmTiles(warmB, warmKB)
+		s.prewarmDN(hotB, hotKB, warmB, warmKB, coolB, coolKB)
+	}
+}
+
+// prewarmTiles spreads warm-region lines across the fabric tiles,
+// innermost levels first, one copy per line (content exclusion).
+func (s *System) prewarmTiles(base mem.Addr, kb int) {
+	g := s.Fabric.Geometry()
+	// Order sites by latency: hotter lines closer to the r-tile.
+	var order []int
+	for lat := 3; lat <= g.MaxLatency(); lat++ {
+		for i := range g.Sites {
+			if g.Sites[i].Latency == lat {
+				order = append(order, g.Sites[i].ID)
+			}
+		}
+	}
+	if len(order) == 0 {
+		return
+	}
+	idx := 0
+	for off := 0; off < kb<<10; off += 32 {
+		line := base + mem.Addr(off)
+		// Try successive tiles until one has set space (exclusion: at
+		// most one copy).
+		placed := false
+		for try := 0; try < len(order) && !placed; try++ {
+			b := s.Fabric.TileBank(order[(idx+try)%len(order)])
+			if b.HasSpace(line) {
+				b.Fill(line, false)
+				placed = true
+			}
+		}
+		idx++
+	}
+}
+
+// prewarmDN installs regions into the D-NUCA: warm in the closest rows,
+// cool behind, matching post-migration steady state.
+func (s *System) prewarmDN(hotB mem.Addr, hotKB int, warmB mem.Addr, warmKB int, coolB mem.Addr, coolKB int) {
+	cfg := dnuca.DefaultConfig()
+	put := func(base mem.Addr, kb int, startRow int) {
+		for off := 0; off < kb<<10; off += 128 {
+			line := base + mem.Addr(off)
+			col := int((uint64(line) / 128) % uint64(cfg.Cols))
+			for r := startRow; r < cfg.Rows; r++ {
+				b := s.DN.BankArray(col, r)
+				if b.HasSpace(line) {
+					b.Fill(line, false)
+					break
+				}
+			}
+		}
+	}
+	put(hotB, hotKB, 0)
+	put(warmB, warmKB, 0)
+	put(coolB, coolKB, 1)
+}
+
+// Run advances the system until the core finishes or maxCycles elapse,
+// returning the executed cycle count.
+func (s *System) Run(maxCycles uint64) uint64 {
+	return s.Kernel.Run(maxCycles)
+}
+
+// Collect gathers every component's statistics.
+func (s *System) Collect() *stats.Set {
+	set := stats.NewSet()
+	s.Core.Collect("core", set)
+	if s.L1 != nil {
+		s.L1.Collect("l1", set)
+	}
+	if s.L2 != nil {
+		s.L2.Collect("l2", set)
+	}
+	if s.L3 != nil {
+		s.L3.Collect("l3", set)
+	}
+	if s.Fabric != nil {
+		s.Fabric.Collect("ln", set)
+	}
+	if s.DN != nil {
+		s.DN.Collect("dn", set)
+	}
+	set.Add("mem.reads", s.Memory.Reads)
+	set.Add("mem.writebacks", s.Memory.Writebacks)
+	return set
+}
+
+// Energy converts a (possibly delta) statistics set from this system into
+// the Fig. 4(b)/5(b) breakdown. cycles is the measured window length.
+func (s *System) Energy(set *stats.Set, cycles uint64) power.Breakdown {
+	var a power.Accountant
+	switch s.Kind {
+	case Conventional:
+		a.AddDynamicPJ(float64(set.Counter("l1.bank_accesses")) * L1ReadPJ)
+		a.AddDynamicPJ(float64(set.Counter("l2.bank_accesses")) * L2ReadPJ)
+		a.AddDynamicPJ(float64(set.Counter("l3.bank_accesses")) * L3ReadPJ)
+		a.AddLeakage(power.StaticL1RT, L1LeakMW)
+		a.AddLeakage(power.StaticMid, L2LeakMW)
+		a.AddLeakage(power.StaticLLC, L3LeakMW)
+	case LNUCAL3:
+		s.addFabricDynamic(&a, set)
+		a.AddDynamicPJ(float64(set.Counter("l3.bank_accesses")) * L3ReadPJ)
+		tiles := float64(lnuca.NumTilesForLevels(s.levels))
+		a.AddLeakage(power.StaticL1RT, L1LeakMW)
+		a.AddLeakage(power.StaticMid, tiles*(TileLeakMW+RouterLeakPerTileMW))
+		a.AddLeakage(power.StaticLLC, L3LeakMW)
+	case DNUCAOnly:
+		a.AddDynamicPJ(float64(set.Counter("l1.bank_accesses")) * L1ReadPJ)
+		s.addDNDynamic(&a, set)
+		a.AddLeakage(power.StaticL1RT, L1LeakMW)
+		a.AddLeakage(power.StaticLLC, 32*DNBankLeakMW)
+	case LNUCADNUCA:
+		s.addFabricDynamic(&a, set)
+		s.addDNDynamic(&a, set)
+		tiles := float64(lnuca.NumTilesForLevels(s.levels))
+		a.AddLeakage(power.StaticL1RT, L1LeakMW)
+		a.AddLeakage(power.StaticMid, tiles*(TileLeakMW+RouterLeakPerTileMW))
+		a.AddLeakage(power.StaticLLC, 32*DNBankLeakMW)
+	}
+	return a.Finish(cycles)
+}
+
+// addFabricDynamic charges the L-NUCA's arrays and networks.
+func (s *System) addFabricDynamic(a *power.Accountant, set *stats.Set) {
+	rtAccesses := set.Counter("ln.rt_reads") + set.Counter("ln.rt_writes") + set.Counter("ln.rt_fills")
+	a.AddDynamicPJ(float64(rtAccesses) * L1ReadPJ)
+	// Tile arrays: misses cost the tag path, hits read data, fills and
+	// evictions move whole blocks.
+	lookups := set.Counter("ln.search_lookups")
+	var hits uint64
+	for lvl := 2; lvl <= s.levels; lvl++ {
+		hits += set.Counter(fmt.Sprintf("ln.hits_le%d", lvl))
+	}
+	a.AddDynamicPJ(float64(lookups) * TileTagProbePJ)
+	a.AddDynamicPJ(float64(hits) * TileReadPJ)
+	a.AddDynamicPJ(float64(set.Counter("ln.u_compares")) * UComparePJ)
+	// Networks (Orion-style event energy).
+	a.AddDynamicPJ(float64(set.Counter("ln.search_traversals")) * searchLink.TraversalPJ())
+	a.AddDynamicPJ(float64(set.Counter("ln.transport_hops")+set.Counter("ln.transport_delivered")) * transportLink.TraversalPJ())
+	a.AddDynamicPJ(float64(set.Counter("ln.replacement_hops")) * (transportLink.TraversalPJ() + TileFillPJ))
+}
+
+// addDNDynamic charges the D-NUCA's banks and wormhole mesh.
+func (s *System) addDNDynamic(a *power.Accountant, set *stats.Set) {
+	a.AddDynamicPJ(float64(set.Counter("dn.bank_accesses")) * DNReadPJ)
+	a.AddDynamicPJ(float64(set.Counter("dn.net_flit_hops")) * dnucaLink.TraversalPJ())
+}
+
+// CheckInvariants verifies structural invariants (used by tests).
+func (s *System) CheckInvariants() error {
+	if s.Fabric != nil {
+		return s.Fabric.CheckExclusion()
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package lnuca
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// blockMsg is a cache block traveling on the Replacement network.
+type blockMsg struct {
+	line  mem.Addr
+	dirty bool
+}
+
+// transMsg is a hit block traveling on the Transport network toward the
+// r-tile, carrying the bookkeeping the statistics need.
+type transMsg struct {
+	blk      blockMsg
+	hitCycle sim.Cycle
+	minHops  int
+	level    int
+}
+
+// searchMsg is a miss request on the Search network. Messages are
+// headerless in hardware (Section III.B); line and the launch cycle are
+// what the model needs, isRead tags the request for Table III accounting.
+type searchMsg struct {
+	line   mem.Addr
+	reqID  uint64
+	isRead bool
+	marked bool // contention-marked (Section III.C, transport back-pressure)
+}
+
+// dlink is one unidirectional Transport link with its two-entry
+// store-and-forward buffer and On/Off back-pressure (Section III.B). The
+// used flag enforces one message per link per cycle.
+type dlink struct {
+	ch   *mem.Chan[transMsg]
+	used bool
+	// Hops counts traversals for the energy model.
+	Hops uint64
+}
+
+func newDLink(depth int) *dlink {
+	return &dlink{ch: mem.NewChan[transMsg](depth)}
+}
+
+// on reports whether the link can accept a message this cycle (the On/Off
+// back-pressure signal seen by the sender).
+func (l *dlink) on() bool { return !l.used && l.ch.CanPush() }
+
+func (l *dlink) send(m transMsg) {
+	l.ch.Push(m)
+	l.used = true
+	l.Hops++
+}
+
+func (l *dlink) tick() {
+	l.ch.Tick()
+	l.used = false
+}
+
+// ulink is one unidirectional Replacement link. Its buffer entries carry
+// address comparators (Section III.C): the Search operation can find and
+// extract in-transit blocks, which is what prevents false misses.
+type ulink struct {
+	items    []blockMsg
+	staged   []blockMsg
+	startLen int
+	depth    int
+	used     bool
+	// Hops counts traversals for the energy model.
+	Hops uint64
+}
+
+func newULink(depth int) *ulink {
+	if depth <= 0 {
+		depth = 1
+	}
+	return &ulink{depth: depth}
+}
+
+// on reports whether the link can accept a block this cycle.
+func (l *ulink) on() bool {
+	return !l.used && l.startLen+len(l.staged) < l.depth
+}
+
+func (l *ulink) send(b blockMsg) {
+	if !l.on() {
+		panic("lnuca: ulink overflow — caller must check on()")
+	}
+	l.staged = append(l.staged, b)
+	l.used = true
+	l.Hops++
+}
+
+// peek returns the oldest visible block without removing it.
+func (l *ulink) peek() (blockMsg, bool) {
+	if len(l.items) == 0 {
+		return blockMsg{}, false
+	}
+	return l.items[0], true
+}
+
+// pop removes the oldest visible block.
+func (l *ulink) pop() (blockMsg, bool) {
+	if len(l.items) == 0 {
+		return blockMsg{}, false
+	}
+	b := l.items[0]
+	l.items = l.items[1:]
+	return b, true
+}
+
+// remove extracts the in-transit block for line, if present (the U-buffer
+// comparator hit of the Search operation).
+func (l *ulink) remove(line mem.Addr) (blockMsg, bool) {
+	for i := range l.items {
+		if l.items[i].line == line {
+			b := l.items[i]
+			l.items = append(l.items[:i], l.items[i+1:]...)
+			return b, true
+		}
+	}
+	return blockMsg{}, false
+}
+
+// contains reports whether line is in transit on this link.
+func (l *ulink) contains(line mem.Addr) bool {
+	for i := range l.items {
+		if l.items[i].line == line {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *ulink) len() int { return len(l.items) }
+
+func (l *ulink) tick() {
+	l.items = append(l.items, l.staged...)
+	l.staged = l.staged[:0]
+	l.startLen = len(l.items)
+	l.used = false
+}

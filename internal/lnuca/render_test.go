@@ -1,0 +1,62 @@
+package lnuca
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderLatencyGridMatchesFig2c(t *testing.T) {
+	out := MustGeometry(3).RenderLatencyGrid()
+	// The bottom row of Fig. 2(c): 5 3 1 3 5.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	bottom := lines[len(lines)-2] // last grid row before the footer
+	for _, want := range []string{"5", "3", "1"} {
+		if !strings.Contains(bottom, want) {
+			t.Fatalf("bottom row %q missing %s", bottom, want)
+		}
+	}
+	if !strings.Contains(out, "7") {
+		t.Error("corners (latency 7) missing from grid")
+	}
+}
+
+func TestRenderDOTAllNetworks(t *testing.T) {
+	g := MustGeometry(3)
+	for _, n := range []network{SearchNet, TransportNet, ReplacementNet} {
+		dot := g.RenderDOT(n)
+		if !strings.HasPrefix(dot, "digraph") || !strings.Contains(dot, "rtile") {
+			t.Errorf("%v DOT malformed:\n%s", n, dot[:80])
+		}
+		if !strings.Contains(dot, "->") {
+			t.Errorf("%v DOT has no edges", n)
+		}
+	}
+	// Replacement DOT must show the exit to the next level.
+	if !strings.Contains(g.RenderDOT(ReplacementNet), "next_level") {
+		t.Error("replacement DOT missing exit corners")
+	}
+}
+
+func TestNetworkByName(t *testing.T) {
+	for name, want := range map[string]network{
+		"search": SearchNet, "transport": TransportNet,
+		"replacement": ReplacementNet, "replace": ReplacementNet,
+	} {
+		got, ok := NetworkByName(name)
+		if !ok || got != want {
+			t.Errorf("NetworkByName(%q) = %v,%v", name, got, ok)
+		}
+	}
+	if _, ok := NetworkByName("bogus"); ok {
+		t.Error("bogus network accepted")
+	}
+}
+
+func TestRenderSummary(t *testing.T) {
+	out := MustGeometry(4).RenderSummary()
+	for _, want := range []string{"27 tiles", "248 KB", "search network", "replacement depth"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package noc provides the generic network-on-chip machinery the simulated
+// hierarchies are built from: grid coordinates, and a flit-level wormhole
+// mesh with virtual channels and dimension-order routing — the network
+// style the paper's D-NUCA baseline uses (Table I: 4 virtual channels,
+// 4-flit buffers, 1-cycle routing, 1–5 flits per message) and the style
+// L-NUCA's three specialized networks are designed to beat.
+package noc
+
+import "fmt"
+
+// Coord is a position on a 2-D grid.
+type Coord struct {
+	X, Y int
+}
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Manhattan returns the L1 grid distance between two coordinates.
+func Manhattan(a, b Coord) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+// Chebyshev returns the L-infinity grid distance between two coordinates.
+func Chebyshev(a, b Coord) int {
+	dx, dy := abs(a.X-b.X), abs(a.Y-b.Y)
+	if dx > dy {
+		return dx
+	}
+	return dy
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Dir is a mesh port direction.
+type Dir uint8
+
+const (
+	// North increases Y.
+	North Dir = iota
+	// East increases X.
+	East
+	// South decreases Y.
+	South
+	// West decreases X.
+	West
+	// Local is the node's injection/ejection port.
+	Local
+	// NumDirs counts the port directions.
+	NumDirs = 5
+)
+
+func (d Dir) String() string {
+	switch d {
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	case Local:
+		return "L"
+	default:
+		return "?"
+	}
+}
+
+// Opposite returns the port on the far side of a link.
+func (d Dir) Opposite() Dir {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	default:
+		return Local
+	}
+}
+
+// Step returns the coordinate one hop in direction d.
+func (c Coord) Step(d Dir) Coord {
+	switch d {
+	case North:
+		return Coord{c.X, c.Y + 1}
+	case South:
+		return Coord{c.X, c.Y - 1}
+	case East:
+		return Coord{c.X + 1, c.Y}
+	case West:
+		return Coord{c.X - 1, c.Y}
+	default:
+		return c
+	}
+}
+
+// XYRoute returns the dimension-order (X first, then Y) output direction
+// for a packet at cur heading to dst; Local when cur == dst.
+func XYRoute(cur, dst Coord) Dir {
+	switch {
+	case dst.X > cur.X:
+		return East
+	case dst.X < cur.X:
+		return West
+	case dst.Y > cur.Y:
+		return North
+	case dst.Y < cur.Y:
+		return South
+	default:
+		return Local
+	}
+}

@@ -1,0 +1,103 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestManhattan(t *testing.T) {
+	cases := []struct {
+		a, b Coord
+		want int
+	}{
+		{Coord{0, 0}, Coord{0, 0}, 0},
+		{Coord{0, 0}, Coord{3, 4}, 7},
+		{Coord{-2, 1}, Coord{2, -1}, 6},
+	}
+	for _, c := range cases {
+		if got := Manhattan(c.a, c.b); got != c.want {
+			t.Errorf("Manhattan(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Manhattan(c.b, c.a); got != c.want {
+			t.Errorf("Manhattan not symmetric for %v,%v", c.a, c.b)
+		}
+	}
+}
+
+func TestChebyshev(t *testing.T) {
+	if got := Chebyshev(Coord{0, 0}, Coord{3, 4}); got != 4 {
+		t.Errorf("Chebyshev = %d, want 4", got)
+	}
+	if got := Chebyshev(Coord{-1, 0}, Coord{1, 1}); got != 2 {
+		t.Errorf("Chebyshev = %d, want 2", got)
+	}
+}
+
+func TestManhattanTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a := Coord{int(ax), int(ay)}
+		b := Coord{int(bx), int(by)}
+		c := Coord{int(cx), int(cy)}
+		return Manhattan(a, c) <= Manhattan(a, b)+Manhattan(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirStepAndOpposite(t *testing.T) {
+	origin := Coord{5, 5}
+	for _, d := range []Dir{North, East, South, West} {
+		moved := origin.Step(d)
+		if moved == origin {
+			t.Errorf("Step(%v) did not move", d)
+		}
+		back := moved.Step(d.Opposite())
+		if back != origin {
+			t.Errorf("Step(%v) then Step(opposite) = %v, want %v", d, back, origin)
+		}
+	}
+	if origin.Step(Local) != origin {
+		t.Error("Step(Local) must not move")
+	}
+	if Local.Opposite() != Local {
+		t.Error("Local.Opposite should be Local")
+	}
+}
+
+func TestDirString(t *testing.T) {
+	want := map[Dir]string{North: "N", East: "E", South: "S", West: "W", Local: "L", Dir(9): "?"}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("Dir(%d).String() = %q, want %q", d, d.String(), s)
+		}
+	}
+}
+
+func TestXYRouteReachesDestination(t *testing.T) {
+	f := func(sx, sy, dx, dy uint8) bool {
+		cur := Coord{int(sx % 8), int(sy % 8)}
+		dst := Coord{int(dx % 8), int(dy % 8)}
+		for steps := 0; steps < 20; steps++ {
+			d := XYRoute(cur, dst)
+			if d == Local {
+				return cur == dst
+			}
+			cur = cur.Step(d)
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXYRouteXFirst(t *testing.T) {
+	// Dimension order: X must be corrected before Y.
+	if d := XYRoute(Coord{0, 0}, Coord{3, 3}); d != East {
+		t.Errorf("XYRoute = %v, want East (X first)", d)
+	}
+	if d := XYRoute(Coord{3, 0}, Coord{3, 3}); d != North {
+		t.Errorf("XYRoute = %v, want North once X aligned", d)
+	}
+}

@@ -1,0 +1,333 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Message is a multi-flit packet traveling through a wormhole mesh.
+type Message struct {
+	ID      uint64
+	Src     Coord
+	Dst     Coord
+	Flits   int
+	Payload interface{}
+	// Injected is stamped by the mesh when the head flit enters the
+	// network; Delivered when the tail flit ejects.
+	Injected, Delivered sim.Cycle
+}
+
+// flit is the wormhole flow-control unit.
+type flit struct {
+	msg  *Message
+	head bool
+	tail bool
+}
+
+// vcState tracks an input virtual channel's wormhole reservation.
+type vcState struct {
+	buf []flit
+	// routed is set once the head flit has picked an output.
+	routed  bool
+	outDir  Dir
+	outVC   int
+	credits int // unused on Local ejection
+}
+
+// outOwner records which input VC currently owns an output VC (from head
+// until tail, the wormhole invariant).
+type outOwner struct {
+	active bool
+	inDir  Dir
+	inVC   int
+}
+
+type router struct {
+	pos Coord
+	// in[dir][vc] input-buffered virtual channels.
+	in [NumDirs][]vcState
+	// owner[dir][vc] output VC reservations.
+	owner [NumDirs][]outOwner
+	// ejected messages awaiting pickup by the local node.
+	ejectQ []*Message
+	// rrNext rotates switch-allocation priority for fairness.
+	rrNext int
+}
+
+// MeshConfig parameterizes a wormhole mesh.
+type MeshConfig struct {
+	Width, Height int
+	VCs           int // virtual channels per physical link (Table I: 4)
+	VCDepth       int // flit buffer depth per VC (Table I: 4)
+}
+
+// Validate reports configuration errors.
+func (c MeshConfig) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("noc: mesh %dx%d has non-positive dimension", c.Width, c.Height)
+	}
+	if c.VCs <= 0 || c.VCDepth <= 0 {
+		return fmt.Errorf("noc: VCs=%d depth=%d must be positive", c.VCs, c.VCDepth)
+	}
+	return nil
+}
+
+// Mesh is a cycle-stepped 2-D wormhole mesh with input-buffered virtual
+// channels, XY routing, and round-robin switch allocation. It is driven by
+// a single owning component via Step, which keeps it deterministic.
+//
+// XY routing plus guaranteed ejection (unbounded eject queues drained by
+// the owner) makes the network provably deadlock-free, the same argument
+// the paper invokes for L-NUCA's acyclic networks.
+type Mesh struct {
+	cfg     MeshConfig
+	routers []*router
+
+	// injectQ holds messages not yet converted to flits, per node.
+	injectQ [][]*Message
+
+	// Stats
+	MsgsInjected, MsgsDelivered uint64
+	FlitHops                    uint64
+	TotalLatency                uint64
+	TotalHops                   uint64
+}
+
+// NewMesh builds a mesh; it panics on invalid configuration (wiring bug).
+func NewMesh(cfg MeshConfig) *Mesh {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Mesh{cfg: cfg}
+	n := cfg.Width * cfg.Height
+	m.routers = make([]*router, n)
+	m.injectQ = make([][]*Message, n)
+	for i := range m.routers {
+		r := &router{pos: Coord{i % cfg.Width, i / cfg.Width}}
+		for d := 0; d < NumDirs; d++ {
+			r.in[d] = make([]vcState, cfg.VCs)
+			r.owner[d] = make([]outOwner, cfg.VCs)
+		}
+		m.routers[i] = r
+	}
+	return m
+}
+
+// Config returns the mesh configuration.
+func (m *Mesh) Config() MeshConfig { return m.cfg }
+
+func (m *Mesh) at(c Coord) *router {
+	return m.routers[c.Y*m.cfg.Width+c.X]
+}
+
+// InBounds reports whether c is a valid node.
+func (m *Mesh) InBounds(c Coord) bool {
+	return c.X >= 0 && c.X < m.cfg.Width && c.Y >= 0 && c.Y < m.cfg.Height
+}
+
+// Inject queues msg for injection at its source node. It returns false
+// when the source-local injection staging is saturated (more than VCDepth
+// messages waiting), modeling finite injection bandwidth.
+func (m *Mesh) Inject(msg *Message, now sim.Cycle) bool {
+	if !m.InBounds(msg.Src) || !m.InBounds(msg.Dst) {
+		panic(fmt.Sprintf("noc: inject out of bounds: %v -> %v", msg.Src, msg.Dst))
+	}
+	if msg.Flits <= 0 {
+		msg.Flits = 1
+	}
+	idx := msg.Src.Y*m.cfg.Width + msg.Src.X
+	if len(m.injectQ[idx]) >= m.cfg.VCDepth {
+		return false
+	}
+	msg.Injected = now
+	m.injectQ[idx] = append(m.injectQ[idx], msg)
+	m.MsgsInjected++
+	return true
+}
+
+// Eject drains delivered messages at node c.
+func (m *Mesh) Eject(c Coord) []*Message {
+	r := m.at(c)
+	out := r.ejectQ
+	r.ejectQ = nil
+	return out
+}
+
+// EjectOne pops a single delivered message at node c, if any.
+func (m *Mesh) EjectOne(c Coord) (*Message, bool) {
+	r := m.at(c)
+	if len(r.ejectQ) == 0 {
+		return nil, false
+	}
+	msg := r.ejectQ[0]
+	r.ejectQ = r.ejectQ[1:]
+	return msg, true
+}
+
+// move is a staged flit transfer computed during the allocation pass and
+// applied afterwards, giving single-cycle-per-hop semantics without
+// order dependence between routers.
+type move struct {
+	from     *router
+	fromDir  Dir
+	fromVC   int
+	to       *router // nil for ejection
+	toDir    Dir
+	toVC     int
+	f        flit
+	lastFlit bool
+}
+
+// Step advances the mesh by one cycle.
+func (m *Mesh) Step(now sim.Cycle) {
+	// Stage injections: convert one message per node per cycle into flits
+	// on a free Local input VC.
+	for idx, q := range m.injectQ {
+		if len(q) == 0 {
+			continue
+		}
+		r := m.routers[idx]
+		for vc := 0; vc < m.cfg.VCs; vc++ {
+			st := &r.in[Local][vc]
+			if len(st.buf) == 0 && !st.routed {
+				msg := q[0]
+				m.injectQ[idx] = q[1:]
+				for i := 0; i < msg.Flits; i++ {
+					st.buf = append(st.buf, flit{
+						msg:  msg,
+						head: i == 0,
+						tail: i == msg.Flits-1,
+					})
+				}
+				break
+			}
+		}
+	}
+
+	// Allocation pass: each router picks at most one flit per output
+	// direction, reading only current buffer state.
+	var moves []move
+	type outTaken struct{ taken [NumDirs]bool }
+	takenAll := make([]outTaken, len(m.routers))
+
+	for ri, r := range m.routers {
+		// Round-robin over input (dir, vc) pairs for fairness.
+		total := NumDirs * m.cfg.VCs
+		for k := 0; k < total; k++ {
+			slot := (r.rrNext + k) % total
+			inDir := Dir(slot / m.cfg.VCs)
+			inVC := slot % m.cfg.VCs
+			st := &r.in[inDir][inVC]
+			if len(st.buf) == 0 {
+				continue
+			}
+			f := st.buf[0]
+			// Route computation on head flit.
+			if f.head && !st.routed {
+				st.outDir = XYRoute(r.pos, f.msg.Dst)
+				st.outVC = -1
+				st.routed = true
+			}
+			if !st.routed {
+				continue // body flit of a stream whose head is gone: impossible, but safe
+			}
+			out := st.outDir
+			if takenAll[ri].taken[out] {
+				continue // output port already granted this cycle
+			}
+			if out == Local {
+				// Ejection consumes the flit immediately (guaranteed
+				// consumption keeps the network deadlock-free).
+				moves = append(moves, move{
+					from: r, fromDir: inDir, fromVC: inVC,
+					to: nil, f: f, lastFlit: f.tail,
+				})
+				takenAll[ri].taken[out] = true
+				continue
+			}
+			next := m.at(r.pos.Step(out))
+			inPortAtNext := out.Opposite()
+			// Virtual-channel allocation on head flits.
+			if st.outVC < 0 {
+				for vc := 0; vc < m.cfg.VCs; vc++ {
+					own := &next.in[inPortAtNext][vc]
+					owner := &r.owner[out][vc]
+					if !owner.active && len(own.buf) == 0 && !own.routed {
+						st.outVC = vc
+						owner.active = true
+						owner.inDir = inDir
+						owner.inVC = inVC
+						break
+					}
+				}
+				if st.outVC < 0 {
+					continue // no VC available this cycle
+				}
+			}
+			// Buffer space check (credit-equivalent, conservative: flits
+			// leaving downstream this cycle do not free space until next).
+			dstBuf := &next.in[inPortAtNext][st.outVC]
+			if len(dstBuf.buf) >= m.cfg.VCDepth {
+				continue
+			}
+			moves = append(moves, move{
+				from: r, fromDir: inDir, fromVC: inVC,
+				to: next, toDir: inPortAtNext, toVC: st.outVC,
+				f: f, lastFlit: f.tail,
+			})
+			takenAll[ri].taken[out] = true
+		}
+		r.rrNext = (r.rrNext + 1) % total
+	}
+
+	// Apply pass.
+	for _, mv := range moves {
+		src := &mv.from.in[mv.fromDir][mv.fromVC]
+		src.buf = src.buf[1:]
+		m.FlitHops++
+		if mv.to == nil {
+			// Ejection.
+			if mv.f.tail {
+				mv.f.msg.Delivered = now
+				m.MsgsDelivered++
+				lat := uint64(now - mv.f.msg.Injected)
+				m.TotalLatency += lat
+				m.TotalHops += uint64(Manhattan(mv.f.msg.Src, mv.f.msg.Dst))
+				m.at(mv.f.msg.Dst).ejectQ = append(m.at(mv.f.msg.Dst).ejectQ, mv.f.msg)
+			}
+		} else {
+			dst := &mv.to.in[mv.toDir][mv.toVC]
+			dst.buf = append(dst.buf, mv.f)
+		}
+		if mv.lastFlit {
+			// Tail passed: release the wormhole reservations.
+			if src.routed && src.outDir != Local && src.outVC >= 0 {
+				mv.from.owner[src.outDir][src.outVC] = outOwner{}
+			}
+			src.routed = false
+			src.outVC = 0
+			src.outDir = 0
+		}
+	}
+}
+
+// InFlight returns the number of injected-but-undelivered messages.
+func (m *Mesh) InFlight() int {
+	return int(m.MsgsInjected - m.MsgsDelivered)
+}
+
+// AvgLatency returns the mean injection-to-delivery latency in cycles.
+func (m *Mesh) AvgLatency() float64 {
+	if m.MsgsDelivered == 0 {
+		return 0
+	}
+	return float64(m.TotalLatency) / float64(m.MsgsDelivered)
+}
+
+// NumLinks returns the number of unidirectional inter-router links, the
+// quantity the paper compares against its specialized topologies.
+func (m *Mesh) NumLinks() int {
+	w, h := m.cfg.Width, m.cfg.Height
+	return 2 * (w*(h-1) + h*(w-1))
+}

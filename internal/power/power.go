@@ -1,0 +1,139 @@
+// Package power performs the whole-run energy accounting behind the
+// paper's Figures 4(b) and 5(b): dynamic energy from per-event counts and
+// static energy from leakage power times execution time, broken into the
+// same buckets the figures plot — dynamic, static L1/r-tile, static
+// L2-or-rest-of-tiles, and static L3-or-D-NUCA.
+package power
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tech"
+)
+
+// Bucket labels one stacked-bar component of Fig. 4(b)/5(b).
+type Bucket uint8
+
+const (
+	// Dynamic is all switching energy (arrays plus networks).
+	Dynamic Bucket = iota
+	// StaticL1RT is the L1 / r-tile leakage.
+	StaticL1RT
+	// StaticMid is the L2 leakage (conventional) or the leakage of the
+	// rest of the tiles (L-NUCA): the paper's "L2-RESTT" bucket.
+	StaticMid
+	// StaticLLC is the L3 or D-NUCA leakage.
+	StaticLLC
+	numBuckets
+)
+
+func (b Bucket) String() string {
+	switch b {
+	case Dynamic:
+		return "dyn."
+	case StaticL1RT:
+		return "sta. L1-RT"
+	case StaticMid:
+		return "sta. L2-RESTT"
+	case StaticLLC:
+		return "sta. LLC"
+	default:
+		return "bucket?"
+	}
+}
+
+// StaticPJ converts leakage power over a cycle count into picojoules:
+// 1 mW for 1 s is 1e9 pJ.
+func StaticPJ(leakMW float64, cycles uint64) float64 {
+	return leakMW * 1e9 * tech.Seconds(cycles)
+}
+
+// Breakdown is the per-bucket energy of one run, in picojoules.
+type Breakdown struct {
+	PJ [numBuckets]float64
+}
+
+// Add accumulates energy into a bucket.
+func (b *Breakdown) Add(bucket Bucket, pj float64) {
+	b.PJ[bucket] += pj
+}
+
+// Total returns the summed energy.
+func (b Breakdown) Total() float64 {
+	t := 0.0
+	for _, v := range b.PJ {
+		t += v
+	}
+	return t
+}
+
+// Get returns one bucket's energy.
+func (b Breakdown) Get(bucket Bucket) float64 { return b.PJ[bucket] }
+
+// NormalizedTo expresses each bucket as a fraction of base's total, the
+// way Figures 4(b) and 5(b) plot stacked bars.
+func (b Breakdown) NormalizedTo(base Breakdown) [4]float64 {
+	var out [4]float64
+	t := base.Total()
+	if t == 0 {
+		return out
+	}
+	for i := range b.PJ {
+		out[i] = b.PJ[i] / t
+	}
+	return out
+}
+
+// SavingsPercentVs returns the total-energy saving of b relative to base
+// in percent (positive = b uses less energy).
+func (b Breakdown) SavingsPercentVs(base Breakdown) float64 {
+	t := base.Total()
+	if t == 0 {
+		return 0
+	}
+	return 100 * (t - b.Total()) / t
+}
+
+// String renders the breakdown.
+func (b Breakdown) String() string {
+	var s strings.Builder
+	for i := Bucket(0); i < numBuckets; i++ {
+		fmt.Fprintf(&s, "%s=%.3g pJ ", i, b.PJ[i])
+	}
+	fmt.Fprintf(&s, "total=%.3g pJ", b.Total())
+	return s.String()
+}
+
+// Accountant accumulates a run's energy: leakage sources registered once,
+// dynamic events added as they are counted, and a final Finish that
+// converts leakage to energy using the elapsed cycles.
+type Accountant struct {
+	leaks [numBuckets]float64 // mW per bucket
+	dyn   float64             // pJ
+}
+
+// AddLeakage registers a static power source.
+func (a *Accountant) AddLeakage(bucket Bucket, mw float64) {
+	if bucket == Dynamic {
+		panic("power: leakage cannot go to the dynamic bucket")
+	}
+	a.leaks[bucket] += mw
+}
+
+// AddDynamicPJ accumulates switching energy.
+func (a *Accountant) AddDynamicPJ(pj float64) { a.dyn += pj }
+
+// LeakageMW returns the registered leakage of a bucket (tests).
+func (a *Accountant) LeakageMW(bucket Bucket) float64 { return a.leaks[bucket] }
+
+// Finish converts the account into a Breakdown for a run of the given
+// length.
+func (a *Accountant) Finish(cycles uint64) Breakdown {
+	var b Breakdown
+	b.Add(Dynamic, a.dyn)
+	for bucket := StaticL1RT; bucket < numBuckets; bucket++ {
+		b.Add(bucket, StaticPJ(a.leaks[bucket], cycles))
+	}
+	return b
+}

@@ -1,0 +1,201 @@
+// Package sim implements the deterministic cycle-driven simulation kernel.
+//
+// The kernel advances all registered components in lockstep using a
+// two-phase clock, the standard discipline of RTL simulators: during Eval a
+// component reads only the *current* (latched) state of the system and
+// computes its next state; during Commit every component atomically latches
+// next state into current state. Because Eval never observes another
+// component's next state, results are independent of registration order and
+// the simulation is exactly reproducible.
+package sim
+
+import "fmt"
+
+// Cycle is a simulation timestamp in processor clock cycles.
+type Cycle = uint64
+
+// Component is a clocked hardware block.
+type Component interface {
+	// Name identifies the component in traces and error messages.
+	Name() string
+	// Eval computes the component's next state for the current cycle. It
+	// must only read latched state (its own and other components').
+	Eval(k *Kernel)
+	// Commit latches next state computed by Eval into current state.
+	Commit(k *Kernel)
+}
+
+// Kernel owns the clock and the component list.
+type Kernel struct {
+	cycle      Cycle
+	components []Component
+	names      map[string]bool
+	stopped    bool
+}
+
+// NewKernel returns an empty kernel at cycle 0.
+func NewKernel() *Kernel {
+	return &Kernel{names: make(map[string]bool)}
+}
+
+// Register adds a component to the kernel. Registering two components with
+// the same name is an error, caught immediately to keep traces unambiguous.
+func (k *Kernel) Register(c Component) error {
+	if c == nil {
+		return fmt.Errorf("sim: cannot register nil component")
+	}
+	if k.names[c.Name()] {
+		return fmt.Errorf("sim: duplicate component name %q", c.Name())
+	}
+	k.names[c.Name()] = true
+	k.components = append(k.components, c)
+	return nil
+}
+
+// MustRegister is Register that panics on error, for wiring code where a
+// duplicate name is a programming bug.
+func (k *Kernel) MustRegister(c Component) {
+	if err := k.Register(c); err != nil {
+		panic(err)
+	}
+}
+
+// Cycle returns the current cycle number.
+func (k *Kernel) Cycle() Cycle { return k.cycle }
+
+// Stop requests that Run return after the current cycle completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Step advances the simulation by exactly one cycle.
+func (k *Kernel) Step() {
+	for _, c := range k.components {
+		c.Eval(k)
+	}
+	for _, c := range k.components {
+		c.Commit(k)
+	}
+	k.cycle++
+}
+
+// Run steps the simulation until Stop is called or maxCycles elapse.
+// It returns the number of cycles executed.
+func (k *Kernel) Run(maxCycles uint64) uint64 {
+	start := k.cycle
+	for !k.stopped && k.cycle-start < maxCycles {
+		k.Step()
+	}
+	return k.cycle - start
+}
+
+// NumComponents returns how many components are registered.
+func (k *Kernel) NumComponents() int { return len(k.components) }
+
+// Reg is a single-entry register with two-phase semantics: writers set the
+// next value during Eval; readers observe the value latched at the last
+// Commit. Tick must be called from the owner's Commit.
+type Reg[T any] struct {
+	cur, next   T
+	curV, nextV bool
+}
+
+// Valid reports whether the register currently holds a value.
+func (r *Reg[T]) Valid() bool { return r.curV }
+
+// Get returns the latched value (zero value when invalid).
+func (r *Reg[T]) Get() (T, bool) { return r.cur, r.curV }
+
+// Set schedules v to be latched at the next Commit.
+func (r *Reg[T]) Set(v T) {
+	r.next = v
+	r.nextV = true
+}
+
+// Clear schedules the register to become invalid at the next Commit.
+func (r *Reg[T]) Clear() {
+	var zero T
+	r.next = zero
+	r.nextV = false
+}
+
+// NextValid reports whether a value has been scheduled this cycle. Useful
+// for writers that must not double-write a register within one Eval.
+func (r *Reg[T]) NextValid() bool { return r.nextV }
+
+// Hold re-schedules the current value so a Commit keeps it. Writers use
+// this when the register is stalled.
+func (r *Reg[T]) Hold() {
+	r.next = r.cur
+	r.nextV = r.curV
+}
+
+// Tick latches the scheduled value. Call exactly once per cycle, from the
+// owning component's Commit.
+func (r *Reg[T]) Tick() {
+	r.cur, r.curV = r.next, r.nextV
+	var zero T
+	r.next, r.nextV = zero, false
+}
+
+// Rand is a small, fast, deterministic xorshift64* PRNG. The L-NUCA
+// transport and replacement networks pick output links "randomly"
+// (Section III.B); a seeded generator keeps runs reproducible.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed (0 is remapped so the
+// xorshift state never sticks at zero).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Fork derives an independent generator whose stream is a deterministic
+// function of the parent state and the label.
+func (r *Rand) Fork(label uint64) *Rand {
+	return NewRand(r.Uint64() ^ (label * 0x9E3779B97F4A7C15) ^ 0xD1B54A32D192ED03)
+}
+
+// Perm fills dst with a random permutation of [0, len(dst)).
+func (r *Rand) Perm(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := len(dst) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// counter is a trivial component: it increments on every cycle.
+type counter struct {
+	name   string
+	evals  int
+	commit int
+}
+
+func (c *counter) Name() string     { return c.name }
+func (c *counter) Eval(k *Kernel)   { c.evals++ }
+func (c *counter) Commit(k *Kernel) { c.commit++ }
+
+func TestKernelStepAndRun(t *testing.T) {
+	k := NewKernel()
+	c := &counter{name: "c"}
+	k.MustRegister(c)
+	k.Step()
+	if k.Cycle() != 1 || c.evals != 1 || c.commit != 1 {
+		t.Fatalf("after Step: cycle=%d evals=%d commits=%d", k.Cycle(), c.evals, c.commit)
+	}
+	n := k.Run(9)
+	if n != 9 || k.Cycle() != 10 {
+		t.Fatalf("Run returned %d, cycle=%d; want 9, 10", n, k.Cycle())
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel()
+	stopAt := uint64(5)
+	k.MustRegister(&stopper{k: k, at: stopAt})
+	n := k.Run(100)
+	if n != stopAt+1 { // the stopping cycle itself completes
+		t.Fatalf("Run executed %d cycles, want %d", n, stopAt+1)
+	}
+	if !k.Stopped() {
+		t.Fatal("kernel should report stopped")
+	}
+}
+
+type stopper struct {
+	k  *Kernel
+	at uint64
+}
+
+func (s *stopper) Name() string { return "stopper" }
+func (s *stopper) Eval(k *Kernel) {
+	if k.Cycle() == s.at {
+		k.Stop()
+	}
+}
+func (s *stopper) Commit(k *Kernel) {}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	k := NewKernel()
+	if err := k.Register(&counter{name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Register(&counter{name: "x"}); err == nil {
+		t.Fatal("duplicate name should be rejected")
+	}
+	if err := k.Register(nil); err == nil {
+		t.Fatal("nil component should be rejected")
+	}
+	if k.NumComponents() != 1 {
+		t.Fatalf("NumComponents = %d, want 1", k.NumComponents())
+	}
+}
+
+// pipe demonstrates two-phase register semantics: a writer sets the
+// register and a reader must not see the value until after Commit.
+type pipe struct {
+	reg      Reg[int]
+	sent     bool
+	observed []int
+}
+
+func (p *pipe) Name() string { return "pipe" }
+func (p *pipe) Eval(k *Kernel) {
+	if v, ok := p.reg.Get(); ok {
+		p.observed = append(p.observed, v)
+	}
+	if !p.sent {
+		p.reg.Set(42)
+		p.sent = true
+	}
+}
+func (p *pipe) Commit(k *Kernel) { p.reg.Tick() }
+
+func TestRegTwoPhase(t *testing.T) {
+	k := NewKernel()
+	p := &pipe{}
+	k.MustRegister(p)
+	k.Step() // writes 42; not yet visible
+	if len(p.observed) != 0 {
+		t.Fatalf("value visible in the same cycle it was written")
+	}
+	k.Step() // now visible
+	if len(p.observed) != 1 || p.observed[0] != 42 {
+		t.Fatalf("observed = %v, want [42]", p.observed)
+	}
+	k.Step() // register was not re-set, so it must have cleared
+	if len(p.observed) != 1 {
+		t.Fatalf("register did not clear: observed %v", p.observed)
+	}
+}
+
+func TestRegHold(t *testing.T) {
+	var r Reg[string]
+	r.Set("a")
+	r.Tick()
+	r.Hold()
+	r.Tick()
+	if v, ok := r.Get(); !ok || v != "a" {
+		t.Fatalf("Hold did not preserve value: %q %v", v, ok)
+	}
+	r.Tick() // no Hold: clears
+	if r.Valid() {
+		t.Fatal("register should clear when neither Set nor Hold was called")
+	}
+}
+
+func TestRegClearAndNextValid(t *testing.T) {
+	var r Reg[int]
+	r.Set(7)
+	if !r.NextValid() {
+		t.Fatal("NextValid should be true after Set")
+	}
+	r.Tick()
+	r.Clear()
+	r.Tick()
+	if r.Valid() {
+		t.Fatal("register should be invalid after Clear+Tick")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(123), NewRand(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+	c := NewRand(124)
+	same := 0
+	a = NewRand(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed must not produce a stuck stream")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%31) + 1
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandIntnPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRandBoolProbability(t *testing.T) {
+	r := NewRand(99)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Bool(0.3) frequency = %v, want ~0.3", frac)
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n % 16)
+		dst := make([]int, m)
+		NewRand(seed).Perm(dst)
+		seen := make(map[int]bool, m)
+		for _, v := range dst {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(seen) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewRand(5)
+	a := parent.Fork(1)
+	b := parent.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams overlap: %d/100 identical", same)
+	}
+}

@@ -1,0 +1,234 @@
+// Package sram is the analytical SRAM bank model standing in for Cacti 5.3
+// (paper Section IV). It estimates access delay (in FO4), dynamic read
+// energy, leakage power, and area from bank geometry.
+//
+// The model is calibrated against the per-configuration values the paper
+// publishes in Table I (energies, leakage) and Table II (areas): the
+// simulator's default configurations carry those exact published numbers,
+// while this model supplies estimates for swept configurations and is
+// verified by tests to (a) track every Table I/II point within a small
+// factor and (b) scale monotonically with size, associativity and ports —
+// which is all the paper uses Cacti for.
+package sram
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tech"
+)
+
+// Config describes one SRAM bank for estimation purposes.
+type Config struct {
+	SizeBytes  int
+	Ways       int
+	BlockBytes int
+	Ports      int
+	Device     tech.DeviceClass
+	// Serial selects tag-then-data sequencing: slower, but only one data
+	// way is read (the paper's L2/L3 use it; L1, tiles and D-NUCA banks
+	// read tag and data in parallel).
+	Serial bool
+}
+
+// Validate reports whether the geometry is usable.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.BlockBytes <= 0 {
+		return fmt.Errorf("sram: non-positive geometry %+v", c)
+	}
+	if c.SizeBytes < c.Ways*c.BlockBytes {
+		return fmt.Errorf("sram: size %dB below one block per way", c.SizeBytes)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.BlockBytes) }
+
+// bits returns total storage bits.
+func (c Config) bits() float64 { return float64(c.SizeBytes) * 8 }
+
+// activatedDataBits returns the data bits read per access.
+func (c Config) activatedDataBits() float64 {
+	ways := 1
+	if !c.Serial {
+		ways = c.Ways
+	}
+	return float64(ways*c.BlockBytes) * 8
+}
+
+// tagBits approximates the tag storage read per access (40-bit physical
+// addresses).
+func (c Config) tagBits() float64 {
+	offset := math.Log2(float64(c.BlockBytes))
+	index := math.Log2(float64(c.Sets()))
+	t := 40 - offset - index
+	if t < 8 {
+		t = 8
+	}
+	return t * float64(c.Ways)
+}
+
+// Model constants, hand-calibrated at 32 nm against Table I / Table II.
+const (
+	// subarrayBits is the largest monolithic subarray; bigger banks are
+	// tiled from subarrays reached through an H-tree (as Cacti does).
+	subarrayBits = 512 * 1024
+
+	// Dynamic energy coefficients (pJ).
+	dynPerDataBit    = 0.012 // bitline+sense per activated data bit
+	dynPerTagBit     = 0.030 // tag array per bit (comparators included)
+	dynPerSqrtBit    = 0.020 // wordline/decoder ~ sqrt(subarray bits)
+	dynWireCross     = 0.08  // bit x sqrt(subarray)/1e4 coupling term
+	dynHTreePerLevel = 0.50  // per activated kilobit per doubling beyond a subarray
+	dynPortFactor    = 0.25  // extra energy per extra port
+	dynLOPFactor     = 0.45  // LOP arrays burn less dynamic energy
+
+	// Leakage coefficients (mW per Kbit).
+	leakHPPerKb  = 0.033
+	leakLOPPerKb = 0.0094
+	leakPortTax  = 0.55 // extra leakage fraction per extra port
+
+	// Area coefficients.
+	cellAreaUM2     = 0.200 // 6T SRAM cell at 32 nm, incl. in-array wiring
+	areaPortFactor  = 0.85  // extra cell+wiring area per extra port
+	areaOverheadC1  = 0.45  // fixed periphery fraction
+	areaOverheadC2  = 3.4   // periphery fraction term / sqrt(KB)
+	areaLOPFactor   = 0.95  // LOP arrays pack slightly denser
+	areaSerialSaves = 0.97  // serial access needs fewer sense amps
+
+	// Delay coefficients (FO4).
+	delayDecodeBase   = 4.0
+	delayPerLog2Rows  = 0.9
+	delayPerSqrtKB    = 0.35
+	delayPerWay       = 0.45
+	delayHTreePerLvl  = 1.1
+	delaySerialTagAdd = 0.85 // serial access serializes part of the tag path
+	delayLOPFactor    = 1.25 // LOP transistors are slower
+	// TagFraction is the share of the total access delay elapsed when the
+	// tag comparison resolves; the paper measures "roughly 80%" with
+	// Cacti 5.3 for small low-associativity arrays (Section III.C).
+	TagFraction = 0.80
+)
+
+// htreeLevels returns the number of size doublings beyond one subarray.
+func htreeLevels(bits float64) float64 {
+	if bits <= subarrayBits {
+		return 0
+	}
+	return math.Log2(bits / subarrayBits)
+}
+
+// ReadEnergyPJ estimates the dynamic energy of one read access.
+func ReadEnergyPJ(c Config) float64 {
+	sub := math.Min(c.bits(), subarrayBits)
+	a := c.activatedDataBits()
+	e := dynPerDataBit*a +
+		dynPerTagBit*c.tagBits() +
+		dynPerSqrtBit*math.Sqrt(sub) +
+		dynWireCross*a*math.Sqrt(sub)/1e4 +
+		dynHTreePerLevel*htreeLevels(c.bits())*(a/1024)
+	e *= 1 + dynPortFactor*float64(c.Ports-1)
+	if c.Device == tech.LOP {
+		e *= dynLOPFactor
+	}
+	return e
+}
+
+// WriteEnergyPJ estimates the dynamic energy of one write access. Writes
+// drive one way's bitlines plus the tag check.
+func WriteEnergyPJ(c Config) float64 {
+	one := c
+	one.Serial = true // a write touches one way regardless of access mode
+	return 1.1 * ReadEnergyPJ(one)
+}
+
+// LeakageMW estimates static power.
+func LeakageMW(c Config) float64 {
+	perKb := leakHPPerKb
+	if c.Device == tech.LOP {
+		perKb = leakLOPPerKb
+	}
+	kb := c.bits() / 1024
+	return perKb * kb * (1 + leakPortTax*float64(c.Ports-1))
+}
+
+// AreaMM2 estimates the silicon area of the bank.
+func AreaMM2(c Config) float64 {
+	cells := c.bits() * cellAreaUM2 * 1e-6 // mm^2
+	cells *= 1 + areaPortFactor*float64(c.Ports-1)
+	kb := c.bits() / 1024 / 8 // KB
+	overhead := 1 + areaOverheadC1 + areaOverheadC2/math.Sqrt(kb)
+	a := cells * overhead
+	if c.Device == tech.LOP {
+		a *= areaLOPFactor
+	}
+	if c.Serial {
+		a *= areaSerialSaves
+	}
+	return a
+}
+
+// AccessFO4 estimates the full read access delay in FO4 units.
+func AccessFO4(c Config) float64 {
+	rows := float64(c.Sets())
+	if rows < 1 {
+		rows = 1
+	}
+	kb := c.bits() / 1024 / 8
+	d := delayDecodeBase +
+		delayPerLog2Rows*math.Log2(math.Max(rows, 2)) +
+		delayPerSqrtKB*math.Sqrt(kb) +
+		delayPerWay*float64(c.Ways) +
+		delayHTreePerLvl*htreeLevels(c.bits())
+	if c.Serial {
+		d += delaySerialTagAdd * d * TagFraction
+	}
+	if c.Device == tech.LOP {
+		d *= delayLOPFactor
+	}
+	return d
+}
+
+// TagCompareFO4 estimates the delay until the hit/miss outcome is known:
+// the quantity that lets an L-NUCA tile forward a miss within the same
+// cycle it looks up (Section III.C).
+func TagCompareFO4(c Config) float64 {
+	return TagFraction * AccessFO4(c)
+}
+
+// AccessCycles returns the access time rounded up to whole processor
+// cycles at the modeled 19 FO4 clock.
+func AccessCycles(c Config) int {
+	cyc := int(math.Ceil(AccessFO4(c) / tech.FO4PerCycle))
+	if cyc < 1 {
+		cyc = 1
+	}
+	return cyc
+}
+
+// Estimate bundles all model outputs for one configuration.
+type Estimate struct {
+	Config       Config
+	ReadPJ       float64
+	WritePJ      float64
+	LeakMW       float64
+	AreaMM2      float64
+	AccessFO4    float64
+	TagFO4       float64
+	AccessCycles int
+}
+
+// Estimates computes the full report for c.
+func Estimates(c Config) Estimate {
+	return Estimate{
+		Config:       c,
+		ReadPJ:       ReadEnergyPJ(c),
+		WritePJ:      WriteEnergyPJ(c),
+		LeakMW:       LeakageMW(c),
+		AreaMM2:      AreaMM2(c),
+		AccessFO4:    AccessFO4(c),
+		TagFO4:       TagCompareFO4(c),
+		AccessCycles: AccessCycles(c),
+	}
+}

@@ -1,0 +1,326 @@
+package workload
+
+// The 28-benchmark synthetic catalog: one profile per SPEC CPU2006
+// benchmark the paper simulates (all but 483.xalancbmk, which the authors
+// exclude, Section IV). Parameters follow each benchmark's published
+// character: mcf/omnetpp/astar are pointer chasers, libquantum/lbm/milc
+// stream, povray/gamess/namd are cache resident, and the FP suite carries
+// the larger secondary working sets that Table III reflects in its bigger
+// Le3/Le4 hit shares.
+
+// intSuite returns the 11 integer profiles.
+func intSuite() []Profile {
+	return []Profile{
+		{
+			Name: "400.perlbench", Class: Int,
+			LoadFrac: 0.26, StoreFrac: 0.12, BranchFrac: 0.21,
+			MeanDepDist: 5,
+			HotFrac:     0.9165, WarmFrac: 0.0674, CoolFrac: 0.003,
+			HotKB: 16, WarmKB: 112, CoolKB: 2048,
+			SeqFrac:     0.2,
+			BranchSites: 48, PatternFrac: 0.55, BranchBias: 0.82,
+		},
+		{
+			Name: "401.bzip2", Class: Int,
+			LoadFrac: 0.28, StoreFrac: 0.11, BranchFrac: 0.16,
+			MeanDepDist: 6,
+			HotFrac:     0.9017, WarmFrac: 0.0778, CoolFrac: 0.0036,
+			HotKB: 20, WarmKB: 160, CoolKB: 3072,
+			SeqFrac:     0.45,
+			BranchSites: 24, PatternFrac: 0.5, BranchBias: 0.78,
+		},
+		{
+			Name: "403.gcc", Class: Int,
+			LoadFrac: 0.27, StoreFrac: 0.13, BranchFrac: 0.2,
+			MeanDepDist: 5,
+			HotFrac:     0.907, WarmFrac: 0.0726, CoolFrac: 0.0054,
+			HotKB: 24, WarmKB: 176, CoolKB: 4096,
+			SeqFrac:     0.25,
+			BranchSites: 64, PatternFrac: 0.5, BranchBias: 0.8,
+		},
+		{
+			Name: "429.mcf", Class: Int,
+			LoadFrac: 0.31, StoreFrac: 0.09, BranchFrac: 0.19,
+			MeanDepDist:  4,
+			PointerChase: 0.5,
+			HotFrac:      0.8911, WarmFrac: 0.057, CoolFrac: 0.0144,
+			HotKB: 16, WarmKB: 128, CoolKB: 6144,
+			SeqFrac:     0.1,
+			BranchSites: 32, PatternFrac: 0.35, BranchBias: 0.72,
+		},
+		{
+			Name: "445.gobmk", Class: Int,
+			LoadFrac: 0.25, StoreFrac: 0.13, BranchFrac: 0.22,
+			MeanDepDist: 5,
+			HotFrac:     0.9147, WarmFrac: 0.0648, CoolFrac: 0.0036,
+			HotKB: 20, WarmKB: 96, CoolKB: 2048,
+			SeqFrac:     0.15,
+			BranchSites: 96, PatternFrac: 0.3, BranchBias: 0.68,
+		},
+		{
+			Name: "456.hmmer", Class: Int,
+			LoadFrac: 0.3, StoreFrac: 0.12, BranchFrac: 0.12,
+			MeanDepDist: 8,
+			HotFrac:     0.9266, WarmFrac: 0.0622, CoolFrac: 0.0018,
+			HotKB: 16, WarmKB: 80, CoolKB: 1024,
+			SeqFrac:     0.6,
+			BranchSites: 16, PatternFrac: 0.8, BranchBias: 0.9,
+		},
+		{
+			Name: "458.sjeng", Class: Int,
+			LoadFrac: 0.24, StoreFrac: 0.1, BranchFrac: 0.22,
+			MeanDepDist: 5,
+			HotFrac:     0.9167, WarmFrac: 0.0622, CoolFrac: 0.0042,
+			HotKB: 24, WarmKB: 120, CoolKB: 2048,
+			SeqFrac:     0.1,
+			BranchSites: 80, PatternFrac: 0.3, BranchBias: 0.7,
+		},
+		{
+			Name: "462.libquantum", Class: Int,
+			LoadFrac: 0.29, StoreFrac: 0.14, BranchFrac: 0.17,
+			MeanDepDist: 9,
+			HotFrac:     0.8891, WarmFrac: 0.0311, CoolFrac: 0.0048,
+			HotKB: 12, WarmKB: 96, CoolKB: 4096,
+			SeqFrac:     0.85,
+			BranchSites: 12, PatternFrac: 0.85, BranchBias: 0.92,
+		},
+		{
+			Name: "464.h264ref", Class: Int,
+			LoadFrac: 0.3, StoreFrac: 0.14, BranchFrac: 0.14,
+			MeanDepDist: 7,
+			HotFrac:     0.9234, WarmFrac: 0.0648, CoolFrac: 0.0024,
+			HotKB: 24, WarmKB: 104, CoolKB: 1024,
+			SeqFrac:     0.55,
+			BranchSites: 40, PatternFrac: 0.6, BranchBias: 0.85,
+		},
+		{
+			Name: "471.omnetpp", Class: Int,
+			LoadFrac: 0.29, StoreFrac: 0.12, BranchFrac: 0.2,
+			MeanDepDist:  4,
+			PointerChase: 0.4,
+			HotFrac:      0.8955, WarmFrac: 0.0674, CoolFrac: 0.0108,
+			HotKB: 20, WarmKB: 144, CoolKB: 5120,
+			SeqFrac:     0.1,
+			BranchSites: 56, PatternFrac: 0.4, BranchBias: 0.75,
+		},
+		{
+			Name: "473.astar", Class: Int,
+			LoadFrac: 0.3, StoreFrac: 0.09, BranchFrac: 0.18,
+			MeanDepDist:  4,
+			PointerChase: 0.3,
+			HotFrac:      0.9017, WarmFrac: 0.0674, CoolFrac: 0.0084,
+			HotKB: 16, WarmKB: 136, CoolKB: 4096,
+			SeqFrac:     0.15,
+			BranchSites: 40, PatternFrac: 0.45, BranchBias: 0.74,
+		},
+	}
+}
+
+// fpSuite returns the 17 floating-point profiles.
+func fpSuite() []Profile {
+	return []Profile{
+		{
+			Name: "410.bwaves", Class: FP,
+			LoadFrac: 0.36, StoreFrac: 0.1, BranchFrac: 0.06, FPFrac: 0.34,
+			MeanDepDist: 12,
+			HotFrac:     0.8481, WarmFrac: 0.1147, CoolFrac: 0.0072,
+			HotKB: 16, WarmKB: 208, CoolKB: 6144,
+			SeqFrac:     0.8,
+			BranchSites: 10, PatternFrac: 0.9, BranchBias: 0.95,
+			FPLat: 4,
+		},
+		{
+			Name: "416.gamess", Class: FP,
+			LoadFrac: 0.31, StoreFrac: 0.1, BranchFrac: 0.09, FPFrac: 0.33,
+			MeanDepDist: 9,
+			HotFrac:     0.9079, WarmFrac: 0.0809, CoolFrac: 0.0018,
+			HotKB: 20, WarmKB: 88, CoolKB: 1024,
+			SeqFrac:     0.5,
+			BranchSites: 20, PatternFrac: 0.85, BranchBias: 0.92,
+			FPLat: 4,
+		},
+		{
+			Name: "433.milc", Class: FP,
+			LoadFrac: 0.35, StoreFrac: 0.12, BranchFrac: 0.05, FPFrac: 0.3,
+			MeanDepDist: 11,
+			HotFrac:     0.8518, WarmFrac: 0.1011, CoolFrac: 0.0096,
+			HotKB: 16, WarmKB: 192, CoolKB: 6144,
+			SeqFrac:     0.7,
+			BranchSites: 8, PatternFrac: 0.9, BranchBias: 0.95,
+			FPLat: 5,
+		},
+		{
+			Name: "434.zeusmp", Class: FP,
+			LoadFrac: 0.33, StoreFrac: 0.12, BranchFrac: 0.06, FPFrac: 0.32,
+			MeanDepDist: 10,
+			HotFrac:     0.8518, WarmFrac: 0.1147, CoolFrac: 0.0072,
+			HotKB: 20, WarmKB: 176, CoolKB: 4096,
+			SeqFrac:     0.65,
+			BranchSites: 12, PatternFrac: 0.9, BranchBias: 0.94,
+			FPLat: 4,
+		},
+		{
+			Name: "435.gromacs", Class: FP,
+			LoadFrac: 0.3, StoreFrac: 0.11, BranchFrac: 0.08, FPFrac: 0.34,
+			MeanDepDist: 9,
+			HotFrac:     0.8828, WarmFrac: 0.1011, CoolFrac: 0.003,
+			HotKB: 20, WarmKB: 120, CoolKB: 2048,
+			SeqFrac:     0.5,
+			BranchSites: 16, PatternFrac: 0.8, BranchBias: 0.9,
+			FPLat: 4,
+		},
+		{
+			Name: "436.cactusADM", Class: FP,
+			LoadFrac: 0.35, StoreFrac: 0.11, BranchFrac: 0.04, FPFrac: 0.34,
+			MeanDepDist: 12,
+			HotFrac:     0.8415, WarmFrac: 0.1213, CoolFrac: 0.0072,
+			HotKB: 16, WarmKB: 224, CoolKB: 5120,
+			SeqFrac:     0.7,
+			BranchSites: 8, PatternFrac: 0.95, BranchBias: 0.96,
+			FPLat: 5,
+		},
+		{
+			Name: "437.leslie3d", Class: FP,
+			LoadFrac: 0.34, StoreFrac: 0.12, BranchFrac: 0.05, FPFrac: 0.33,
+			MeanDepDist: 11,
+			HotFrac:     0.8538, WarmFrac: 0.1078, CoolFrac: 0.0084,
+			HotKB: 16, WarmKB: 200, CoolKB: 5120,
+			SeqFrac:     0.75,
+			BranchSites: 10, PatternFrac: 0.9, BranchBias: 0.95,
+			FPLat: 4,
+		},
+		{
+			Name: "444.namd", Class: FP,
+			LoadFrac: 0.3, StoreFrac: 0.09, BranchFrac: 0.08, FPFrac: 0.38,
+			MeanDepDist: 10,
+			HotFrac:     0.8973, WarmFrac: 0.0909, CoolFrac: 0.0024,
+			HotKB: 24, WarmKB: 104, CoolKB: 1024,
+			SeqFrac:     0.4,
+			BranchSites: 16, PatternFrac: 0.85, BranchBias: 0.93,
+			FPLat: 4,
+		},
+		{
+			Name: "447.dealII", Class: FP,
+			LoadFrac: 0.32, StoreFrac: 0.11, BranchFrac: 0.1, FPFrac: 0.28,
+			MeanDepDist:  8,
+			PointerChase: 0.12,
+			HotFrac:      0.8766, WarmFrac: 0.1011, CoolFrac: 0.0054,
+			HotKB: 20, WarmKB: 152, CoolKB: 3072,
+			SeqFrac:     0.3,
+			BranchSites: 32, PatternFrac: 0.7, BranchBias: 0.88,
+			FPLat: 4,
+		},
+		{
+			Name: "450.soplex", Class: FP,
+			LoadFrac: 0.34, StoreFrac: 0.08, BranchFrac: 0.12, FPFrac: 0.26,
+			MeanDepDist:  7,
+			PointerChase: 0.18,
+			HotFrac:      0.8723, WarmFrac: 0.0944, CoolFrac: 0.0108,
+			HotKB: 16, WarmKB: 168, CoolKB: 6144,
+			SeqFrac:     0.25,
+			BranchSites: 32, PatternFrac: 0.6, BranchBias: 0.84,
+			FPLat: 4,
+		},
+		{
+			Name: "453.povray", Class: FP,
+			LoadFrac: 0.3, StoreFrac: 0.12, BranchFrac: 0.13, FPFrac: 0.3,
+			MeanDepDist: 7,
+			HotFrac:     0.924, WarmFrac: 0.0673, CoolFrac: 0.0012,
+			HotKB: 24, WarmKB: 72, CoolKB: 512,
+			SeqFrac:     0.3,
+			BranchSites: 40, PatternFrac: 0.65, BranchBias: 0.88,
+			FPLat: 4,
+		},
+		{
+			Name: "454.calculix", Class: FP,
+			LoadFrac: 0.31, StoreFrac: 0.11, BranchFrac: 0.09, FPFrac: 0.32,
+			MeanDepDist: 9,
+			HotFrac:     0.8778, WarmFrac: 0.1011, CoolFrac: 0.0042,
+			HotKB: 20, WarmKB: 136, CoolKB: 2048,
+			SeqFrac:     0.45,
+			BranchSites: 24, PatternFrac: 0.8, BranchBias: 0.9,
+			FPLat: 4,
+		},
+		{
+			Name: "459.GemsFDTD", Class: FP,
+			LoadFrac: 0.35, StoreFrac: 0.12, BranchFrac: 0.05, FPFrac: 0.32,
+			MeanDepDist: 12,
+			HotFrac:     0.8489, WarmFrac: 0.1078, CoolFrac: 0.0096,
+			HotKB: 16, WarmKB: 216, CoolKB: 6144,
+			SeqFrac:     0.75,
+			BranchSites: 10, PatternFrac: 0.9, BranchBias: 0.95,
+			FPLat: 5,
+		},
+		{
+			Name: "465.tonto", Class: FP,
+			LoadFrac: 0.31, StoreFrac: 0.11, BranchFrac: 0.1, FPFrac: 0.3,
+			MeanDepDist: 8,
+			HotFrac:     0.8803, WarmFrac: 0.1011, CoolFrac: 0.0036,
+			HotKB: 20, WarmKB: 144, CoolKB: 2048,
+			SeqFrac:     0.4,
+			BranchSites: 28, PatternFrac: 0.75, BranchBias: 0.9,
+			FPLat: 4,
+		},
+		{
+			Name: "470.lbm", Class: FP,
+			LoadFrac: 0.33, StoreFrac: 0.15, BranchFrac: 0.03, FPFrac: 0.33,
+			MeanDepDist: 14,
+			HotFrac:     0.8477, WarmFrac: 0.0876, CoolFrac: 0.0084,
+			HotKB: 12, WarmKB: 192, CoolKB: 6144,
+			SeqFrac:     0.9,
+			BranchSites: 6, PatternFrac: 0.95, BranchBias: 0.97,
+			FPLat: 4,
+		},
+		{
+			Name: "481.wrf", Class: FP,
+			LoadFrac: 0.32, StoreFrac: 0.12, BranchFrac: 0.08, FPFrac: 0.31,
+			MeanDepDist: 10,
+			HotFrac:     0.8675, WarmFrac: 0.1078, CoolFrac: 0.006,
+			HotKB: 20, WarmKB: 184, CoolKB: 4096,
+			SeqFrac:     0.55,
+			BranchSites: 20, PatternFrac: 0.8, BranchBias: 0.92,
+			FPLat: 4,
+		},
+		{
+			Name: "482.sphinx3", Class: FP,
+			LoadFrac: 0.36, StoreFrac: 0.08, BranchFrac: 0.1, FPFrac: 0.27,
+			MeanDepDist: 9,
+			HotFrac:     0.8593, WarmFrac: 0.1147, CoolFrac: 0.0072,
+			HotKB: 16, WarmKB: 176, CoolKB: 4096,
+			SeqFrac:     0.4,
+			BranchSites: 24, PatternFrac: 0.7, BranchBias: 0.89,
+			FPLat: 4,
+		},
+	}
+}
+
+// Suite returns all 28 profiles, integer first.
+func Suite() []Profile {
+	return append(intSuite(), fpSuite()...)
+}
+
+// IntSuite returns the integer profiles.
+func IntSuite() []Profile { return intSuite() }
+
+// FPSuite returns the floating-point profiles.
+func FPSuite() []Profile { return fpSuite() }
+
+// ByName finds a profile.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Suite() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names lists every profile name in suite order.
+func Names() []string {
+	s := Suite()
+	out := make([]string, len(s))
+	for i, p := range s {
+		out[i] = p.Name
+	}
+	return out
+}

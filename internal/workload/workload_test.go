@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+func TestCatalogShape(t *testing.T) {
+	// The paper uses all SPEC CPU2006 benchmarks except 483.xalancbmk:
+	// 11 integer + 17 floating point.
+	if n := len(IntSuite()); n != 11 {
+		t.Errorf("integer suite has %d profiles, want 11", n)
+	}
+	if n := len(FPSuite()); n != 17 {
+		t.Errorf("FP suite has %d profiles, want 17", n)
+	}
+	if n := len(Suite()); n != 28 {
+		t.Errorf("full suite has %d profiles, want 28", n)
+	}
+	seen := map[string]bool{}
+	for _, p := range Suite() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	if seen["483.xalancbmk"] {
+		t.Error("483.xalancbmk must be excluded (stack overflow in the paper's runs)")
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("429.mcf")
+	if !ok || p.Name != "429.mcf" {
+		t.Fatal("ByName failed for mcf")
+	}
+	if _, ok := ByName("999.nope"); ok {
+		t.Fatal("ByName found a ghost")
+	}
+	if len(Names()) != 28 {
+		t.Fatal("Names wrong length")
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	good, _ := ByName("400.perlbench")
+	bad := good
+	bad.LoadFrac = 0.9
+	bad.StoreFrac = 0.5
+	if bad.Validate() == nil {
+		t.Error("op mix > 1 accepted")
+	}
+	bad = good
+	bad.HotKB = 0
+	if bad.Validate() == nil {
+		t.Error("zero region accepted")
+	}
+	bad = good
+	bad.BranchSites = 0
+	if bad.Validate() == nil {
+		t.Error("no branch sites accepted")
+	}
+	bad = good
+	bad.HotFrac, bad.WarmFrac, bad.CoolFrac = 0.5, 0.5, 0.5
+	if bad.Validate() == nil {
+		t.Error("region mix > 1 accepted")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ByName("403.gcc")
+	a := MustGenerator(p, 7)
+	b := MustGenerator(p, 7)
+	for i := 0; i < 5000; i++ {
+		oa, _ := a.Next()
+		ob, _ := b.Next()
+		if oa != ob {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, oa, ob)
+		}
+	}
+	c := MustGenerator(p, 8)
+	diff := 0
+	for i := 0; i < 1000; i++ {
+		oa, _ := a.Next()
+		oc, _ := c.Next()
+		if oa != oc {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestOpMixMatchesProfile(t *testing.T) {
+	p, _ := ByName("429.mcf")
+	g := MustGenerator(p, 1)
+	const n = 200000
+	counts := map[cpu.Class]int{}
+	for i := 0; i < n; i++ {
+		op, ok := g.Next()
+		if !ok {
+			t.Fatal("generator ended")
+		}
+		counts[op.Class]++
+	}
+	check := func(class cpu.Class, want float64) {
+		got := float64(counts[class]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%v fraction = %.3f, want %.3f±0.02", class, got, want)
+		}
+	}
+	check(cpu.ClassLoad, p.LoadFrac)
+	check(cpu.ClassStore, p.StoreFrac)
+	check(cpu.ClassBranch, p.BranchFrac)
+}
+
+func TestAddressesStayInRegions(t *testing.T) {
+	for _, name := range []string{"429.mcf", "470.lbm", "453.povray"} {
+		p, _ := ByName(name)
+		g := MustGenerator(p, 3)
+		for i := 0; i < 50000; i++ {
+			op, _ := g.Next()
+			if op.Class != cpu.ClassLoad && op.Class != cpu.ClassStore {
+				continue
+			}
+			a := op.Addr
+			inside := (a >= hotBase && a < hotBase+mem.Addr(p.HotKB<<10)) ||
+				(a >= warmBase && a < warmBase+mem.Addr(p.WarmKB<<10)) ||
+				(a >= coolBase && a < coolBase+mem.Addr(p.CoolKB<<10)) ||
+				(a >= coldBase && a < coldBase+mem.Addr(coldKB<<10))
+			if !inside {
+				t.Fatalf("%s: address %#x outside every region", name, uint64(a))
+			}
+		}
+	}
+}
+
+func TestPointerChaserHasLoadChains(t *testing.T) {
+	mcf, _ := ByName("429.mcf")
+	lbm, _ := ByName("470.lbm")
+	chained := func(p Profile) float64 {
+		g := MustGenerator(p, 1)
+		var lastLoadGap int32
+		loads, chains := 0, 0
+		gap := int32(0)
+		for i := 0; i < 100000; i++ {
+			op, _ := g.Next()
+			gap++
+			if op.Class != cpu.ClassLoad {
+				continue
+			}
+			loads++
+			if op.Dep1 == gap && lastLoadGap >= 0 {
+				chains++
+			}
+			lastLoadGap = gap
+			gap = 0
+		}
+		return float64(chains) / float64(loads)
+	}
+	if cm, cl := chained(mcf), chained(lbm); cm < 3*cl+0.1 {
+		t.Errorf("mcf load-chain fraction %.3f not clearly above lbm %.3f", cm, cl)
+	}
+}
+
+func TestSuiteWorkingSetOrdering(t *testing.T) {
+	// povray is cache resident; mcf is memory hungry. Measure the share
+	// of accesses beyond the hot region.
+	beyond := func(name string) float64 {
+		p, _ := ByName(name)
+		g := MustGenerator(p, 5)
+		mem, far := 0, 0
+		for i := 0; i < 100000; i++ {
+			op, _ := g.Next()
+			if op.Class != cpu.ClassLoad && op.Class != cpu.ClassStore {
+				continue
+			}
+			mem++
+			if op.Addr >= warmBase {
+				far++
+			}
+		}
+		return float64(far) / float64(mem)
+	}
+	if b1, b2 := beyond("453.povray"), beyond("429.mcf"); b1 >= b2 {
+		t.Errorf("povray beyond-L1 share %.3f should be below mcf %.3f", b1, b2)
+	}
+}
+
+func TestFPProfilesHaveFPOps(t *testing.T) {
+	for _, p := range FPSuite() {
+		g := MustGenerator(p, 2)
+		fp := 0
+		for i := 0; i < 20000; i++ {
+			op, _ := g.Next()
+			if op.Class == cpu.ClassFP {
+				fp++
+			}
+		}
+		if fp == 0 {
+			t.Errorf("%s generated no FP ops", p.Name)
+		}
+	}
+	for _, p := range IntSuite() {
+		if p.FPFrac > 0.05 {
+			t.Errorf("%s: integer benchmark with FPFrac %v", p.Name, p.FPFrac)
+		}
+	}
+}
+
+func TestDependencyDistancesBounded(t *testing.T) {
+	p, _ := ByName("436.cactusADM")
+	g := MustGenerator(p, 1)
+	for i := 0; i < 50000; i++ {
+		op, _ := g.Next()
+		if op.Dep1 < 0 || op.Dep1 > 127 || op.Dep2 < 0 || op.Dep2 > 127 {
+			t.Fatalf("dependency distance out of ROB range: %+v", op)
+		}
+	}
+}
+
+func TestBranchPCsStable(t *testing.T) {
+	p, _ := ByName("445.gobmk")
+	g := MustGenerator(p, 1)
+	pcs := map[uint64]bool{}
+	for i := 0; i < 50000; i++ {
+		op, _ := g.Next()
+		if op.Class == cpu.ClassBranch {
+			pcs[op.PC] = true
+		}
+	}
+	if len(pcs) != p.BranchSites {
+		t.Errorf("observed %d branch sites, want %d", len(pcs), p.BranchSites)
+	}
+}
+
+func TestGeneratorRejectsInvalidProfile(t *testing.T) {
+	var p Profile
+	if _, err := NewGenerator(p, 1); err == nil {
+		t.Fatal("zero profile must be rejected")
+	}
+}

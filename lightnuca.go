@@ -1,0 +1,134 @@
+// Package lightnuca is the public API of the Light NUCA reproduction: a
+// cycle-accurate Go model of the cache organization proposed by Suárez et
+// al., "Light NUCA: a proposal for bridging the inter-cache latency gap"
+// (DATE 2009), together with the paper's complete evaluation environment —
+// conventional and D-NUCA baselines, an out-of-order core model, synthetic
+// SPEC CPU2006-like workloads, and area/energy/timing models.
+//
+// A minimal session:
+//
+//	res, err := lightnuca.Run(lightnuca.LNUCAPlusL3, "482.sphinx3", lightnuca.Options{})
+//	fmt.Printf("IPC %.3f over %d cycles\n", res.IPC, res.Cycles)
+//
+// The cmd/ directory regenerates every table and figure of the paper;
+// DESIGN.md maps each to its implementation.
+package lightnuca
+
+import (
+	"fmt"
+
+	"repro/internal/exp"
+	"repro/internal/hier"
+	"repro/internal/lnuca"
+	"repro/internal/power"
+	"repro/internal/sram"
+	"repro/internal/stats"
+	"repro/internal/tech"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+// Hierarchy selects one of the four organizations of Fig. 1.
+type Hierarchy = hier.Kind
+
+// The four evaluated hierarchies.
+const (
+	// Conventional is L1 32KB / L2 256KB / L3 8MB.
+	Conventional = hier.Conventional
+	// LNUCAPlusL3 replaces the L2 with an L-NUCA.
+	LNUCAPlusL3 = hier.LNUCAL3
+	// DNUCA is L1 / 8MB D-NUCA (the DN-4x8 baseline).
+	DNUCA = hier.DNUCAOnly
+	// LNUCAPlusDNUCA inserts an L-NUCA between L1 and the D-NUCA.
+	LNUCAPlusDNUCA = hier.LNUCADNUCA
+)
+
+// Options tune a run; the zero value reproduces the paper's Table I
+// machine with a 3-level L-NUCA at test scale.
+type Options struct {
+	// Levels selects the L-NUCA depth (2..6; default 3).
+	Levels int
+	// Seed makes runs reproducible (default 1).
+	Seed uint64
+	// WarmupInstructions and MeasureInstructions size the run (defaults:
+	// the harness "quick" mode; the paper uses 200M + 100M).
+	WarmupInstructions, MeasureInstructions uint64
+}
+
+// Result summarizes one measured window.
+type Result struct {
+	// Config is the paper-style configuration label (e.g. "LN3-144KB").
+	Config string
+	// Benchmark is the synthetic workload name.
+	Benchmark string
+	// IPC is committed instructions per cycle over the measured window.
+	IPC float64
+	// Cycles is the measured window length.
+	Cycles uint64
+	// Energy is the Fig. 4(b)/5(b)-style breakdown for the window.
+	Energy power.Breakdown
+	// Stats exposes every counter the simulator collected.
+	Stats *stats.Set
+}
+
+// Benchmarks lists the 28 synthetic SPEC CPU2006 workload names.
+func Benchmarks() []string { return workload.Names() }
+
+// Run simulates one benchmark on one hierarchy and reports the measured
+// window.
+func Run(h Hierarchy, benchmark string, opt Options) (Result, error) {
+	prof, ok := workload.ByName(benchmark)
+	if !ok {
+		return Result{}, fmt.Errorf("lightnuca: unknown benchmark %q (see Benchmarks())", benchmark)
+	}
+	mode := exp.Quick
+	if opt.MeasureInstructions > 0 {
+		mode = exp.Mode{Name: "custom", Warmup: opt.WarmupInstructions, Measure: opt.MeasureInstructions}
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	levels := opt.Levels
+	if levels == 0 {
+		levels = 3
+	}
+	spec := exp.Spec{Kind: h, Levels: levels}
+	r := exp.RunOne(spec, prof, mode, seed)
+	if r.Err != nil {
+		return Result{}, r.Err
+	}
+	return Result{
+		Config:    spec.Label(),
+		Benchmark: benchmark,
+		IPC:       r.IPC,
+		Cycles:    r.Cycles,
+		Energy:    r.Energy,
+		Stats:     r.Stats,
+	}, nil
+}
+
+// Topology returns the Fig. 2(c)-style latency grid plus the link
+// accounting for an n-level L-NUCA.
+func Topology(levels int) (string, error) {
+	g, err := lnuca.NewGeometry(levels)
+	if err != nil {
+		return "", err
+	}
+	return g.RenderSummary() + g.RenderLatencyGrid(), nil
+}
+
+// TileTimingReport returns the Fig. 3(d) single-cycle feasibility
+// analysis for the paper's 8KB 2-way tile.
+func TileTimingReport() string {
+	return timing.Analyze(sram.Config{
+		SizeBytes:  8 << 10,
+		Ways:       2,
+		BlockBytes: 32,
+		Ports:      1,
+		Device:     tech.HP,
+	}).String()
+}
+
+// AreaTable returns the Table II area comparison.
+func AreaTable() string { return exp.Table2().String() }

@@ -1,0 +1,81 @@
+package lightnuca_test
+
+import (
+	"strings"
+	"testing"
+
+	lightnuca "repro"
+)
+
+func TestRunQuickstartPath(t *testing.T) {
+	res, err := lightnuca.Run(lightnuca.LNUCAPlusL3, "453.povray", lightnuca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.Cycles == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Config != "LN3-144KB" {
+		t.Fatalf("Config = %q, want LN3-144KB", res.Config)
+	}
+	if res.Energy.Total() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	if res.Stats.Counter("core.committed") == 0 {
+		t.Fatal("stats not populated")
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if _, err := lightnuca.Run(lightnuca.Conventional, "999.bogus", lightnuca.Options{}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	names := lightnuca.Benchmarks()
+	if len(names) != 28 {
+		t.Fatalf("got %d benchmarks, want 28", len(names))
+	}
+}
+
+func TestTopology(t *testing.T) {
+	out, err := lightnuca.Topology(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "14 tiles") || !strings.Contains(out, "144 KB") {
+		t.Fatalf("topology summary wrong:\n%s", out)
+	}
+	if _, err := lightnuca.Topology(1); err == nil {
+		t.Fatal("1-level topology accepted")
+	}
+}
+
+func TestTileTimingReport(t *testing.T) {
+	out := lightnuca.TileTimingReport()
+	if !strings.Contains(out, "FITS") {
+		t.Fatalf("8KB tile should fit the cycle:\n%s", out)
+	}
+}
+
+func TestAreaTable(t *testing.T) {
+	if !strings.Contains(lightnuca.AreaTable(), "LN3-144KB") {
+		t.Fatal("area table missing LN3 row")
+	}
+}
+
+func TestCustomWindow(t *testing.T) {
+	res, err := lightnuca.Run(lightnuca.Conventional, "403.gcc", lightnuca.Options{
+		WarmupInstructions:  1000,
+		MeasureInstructions: 5000,
+		Seed:                7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Stats.Counter("core.committed")
+	if got < 4000 || got > 6000 {
+		t.Fatalf("measured %d instructions, want ~5000", got)
+	}
+}
