@@ -1,0 +1,69 @@
+// Command lnucad is the long-running experiment orchestration service: a
+// bounded simulation worker pool, a content-addressed result cache, and
+// the HTTP JSON API (POST /v1/jobs, POST /v1/sweeps, GET /metrics, ...)
+// that front-ends submit Light NUCA experiments through.
+//
+//	lnucad -addr :8347 -workers 8 -cache /var/lib/lnuca/results
+//
+// With -cache, results persist across restarts and are shared with
+// lnucasweep's -cache flag: any run computed once is never recomputed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/orchestrator"
+)
+
+func main() {
+	addr := flag.String("addr", ":8347", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers")
+	cacheDir := flag.String("cache", "", "result cache directory (empty = in-memory only)")
+	cacheCap := flag.Int("cache-entries", 4096, "in-memory result cache capacity")
+	flag.Parse()
+
+	orch := orchestrator.New(orchestrator.Config{
+		Workers: *workers,
+		Cache:   orchestrator.NewCache(*cacheCap, *cacheDir),
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: orchestrator.NewServer(orch),
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("lnucad: serving on %s (%d workers, cache %s)\n",
+		*addr, *workers, cacheLabel(*cacheDir))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "lnucad:", err)
+		orch.Close()
+		os.Exit(1)
+	case s := <-sigc:
+		fmt.Printf("lnucad: %s, draining\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	orch.Close()
+}
+
+func cacheLabel(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return dir
+}

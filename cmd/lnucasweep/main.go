@@ -5,6 +5,10 @@
 //	lnucasweep -ablate buffers    link buffer depth 1/2/4
 //	lnucasweep -ablate tilesize   2/4/8/16 KB tiles
 //	lnucasweep -ablate levels     L-NUCA depth 2..6
+//
+// -cache DIR memoizes the full-system runs of -ablate levels in the same
+// content-addressed store lnucad serves from, so repeated sweeps (and the
+// service) never recompute a configuration already measured.
 package main
 
 import (
@@ -12,9 +16,11 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/exp"
 	"repro/internal/hier"
 	"repro/internal/lnuca"
 	"repro/internal/mem"
+	"repro/internal/orchestrator"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -25,6 +31,7 @@ var benchNames = []string{"403.gcc", "429.mcf", "482.sphinx3", "434.zeusmp"}
 func main() {
 	ablate := flag.String("ablate", "levels", "routing|buffers|tilesize|levels")
 	instr := flag.Uint64("instr", 30000, "instructions per run")
+	cacheDir := flag.String("cache", "", "result cache directory shared with lnucad (levels sweep only)")
 	flag.Parse()
 
 	switch *ablate {
@@ -49,7 +56,7 @@ func main() {
 		fmt.Println("* a 16KB tile does not meet the single-cycle constraint (lnucatopo -timing);")
 		fmt.Println("  the sweep shows the capacity effect alone.")
 	case "levels":
-		sweepLevels(*instr)
+		sweepLevels(*instr, *cacheDir)
 	default:
 		fmt.Fprintf(os.Stderr, "lnucasweep: unknown -ablate %q\n", *ablate)
 		os.Exit(1)
@@ -170,25 +177,40 @@ func (d *driver) Commit(k *sim.Kernel) {
 
 // sweepLevels runs full systems over 2..6 levels, reproducing the
 // diminishing-returns claim ("performance increments do not pay off
-// beyond 4 levels").
-func sweepLevels(instr uint64) {
+// beyond 4 levels"). Runs are memoized in the orchestrator's
+// content-addressed cache; with -cache the store persists on disk and is
+// shared with lnucad.
+func sweepLevels(instr uint64, cacheDir string) {
+	cache := orchestrator.NewCache(0, cacheDir)
+	mode := exp.Mode{Name: "sweep", Measure: instr}
 	t := stats.NewTable("ablation: L-NUCA levels (full system, subset of benchmarks)",
 		"levels", "capacity KB", "IPC hmean", "gain % vs 2 levels")
 	base := 0.0
 	for levels := 2; levels <= 6; levels++ {
 		var ipcs []float64
 		for _, name := range benchNames {
-			prof, _ := workload.ByName(name)
-			sys, err := hier.Build(hier.LNUCAL3, prof, hier.Options{
-				LNUCALevels: levels, Seed: 1, MaxInstr: instr,
-			})
+			job, err := orchestrator.Job{
+				Kind: hier.LNUCAL3, Levels: levels,
+				Benchmark: name, Mode: mode, Seed: 1,
+			}.Normalize()
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "lnucasweep:", err)
 				os.Exit(1)
 			}
-			sys.Prewarm()
-			sys.Run(instr * 60)
-			ipcs = append(ipcs, sys.Core.IPC())
+			res, ok := cache.Get(job.Key())
+			if !ok {
+				prof, _ := workload.ByName(name)
+				// Run with the normalized mode so the computation always
+				// matches the content key it is stored under.
+				r := exp.RunOne(job.Spec(), prof, job.Mode, job.Seed)
+				if r.Err != nil {
+					fmt.Fprintln(os.Stderr, "lnucasweep:", r.Err)
+					os.Exit(1)
+				}
+				res = orchestrator.ResultOf(r)
+				cache.Put(job.Key(), res)
+			}
+			ipcs = append(ipcs, res.IPC)
 		}
 		hm := stats.HarmonicMean(ipcs)
 		if levels == 2 {
@@ -198,4 +220,8 @@ func sweepLevels(instr uint64) {
 			hm, stats.SpeedupPercent(hm, base))
 	}
 	fmt.Println(t)
+	if cacheDir != "" {
+		fmt.Printf("result cache: %d hits, %d misses (%s)\n",
+			cache.Hits(), cache.Misses(), cacheDir)
+	}
 }

@@ -1,0 +1,148 @@
+// Example service_client drives the lnucad orchestration service
+// end-to-end: it submits a sweep over three hierarchies x four
+// benchmarks through the HTTP API, polls it to completion, then
+// resubmits the identical sweep and shows — via the /metrics cache
+// hit-rate — that the second pass is served entirely from the
+// content-addressed result cache without re-simulating.
+//
+// By default it spins up an in-process server on a loopback port, so it
+// is self-contained; point -addr at a running lnucad to exercise a real
+// deployment:
+//
+//	go run ./examples/service_client [-addr host:port]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/orchestrator"
+)
+
+func main() {
+	addr := flag.String("addr", "", "lnucad address (empty = start an in-process server)")
+	flag.Parse()
+
+	base := "http://" + *addr
+	if *addr == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail("listen: %v", err)
+		}
+		orch := orchestrator.New(orchestrator.Config{Workers: 4})
+		defer orch.Close()
+		go func() { _ = http.Serve(ln, orchestrator.NewServer(orch)) }()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("started in-process lnucad on %s\n", ln.Addr())
+	}
+
+	var health map[string]string
+	mustGet(base+"/healthz", &health)
+	fmt.Printf("healthz: %s\n\n", health["status"])
+
+	sweep := map[string]interface{}{
+		"hierarchies": []string{"conventional", "ln+l3", "dn-4x8"},
+		"levels":      []int{3},
+		"benchmarks":  []string{"403.gcc", "429.mcf", "434.zeusmp", "482.sphinx3"},
+		"mode":        "quick",
+		"seed":        1,
+	}
+
+	fmt.Println("pass 1: submitting 3 hierarchies x 4 benchmarks (cold cache)")
+	t0 := time.Now()
+	runSweep(base, sweep)
+	cold := time.Since(t0)
+
+	fmt.Println("\npass 2: resubmitting the identical sweep (warm cache)")
+	t1 := time.Now()
+	runSweep(base, sweep)
+	warm := time.Since(t1)
+
+	var m orchestrator.Metrics
+	mustGet(base+"/metrics", &m)
+	fmt.Printf("\n/metrics after both passes:\n")
+	fmt.Printf("  runs executed     %d (12 cells, simulated once each)\n", m.Executed)
+	fmt.Printf("  cache hits        %d\n", m.CacheHits)
+	fmt.Printf("  cache misses      %d\n", m.CacheMisses)
+	fmt.Printf("  cache hit rate    %.1f%%\n", 100*m.CacheHitRate)
+	fmt.Printf("  runs per second   %.2f\n", m.RunsPerSecond)
+	fmt.Printf("  cold pass %.2fs, warm pass %.2fs\n", cold.Seconds(), warm.Seconds())
+	if m.Executed > 12 {
+		fail("expected at most 12 simulations, the cache did not absorb the resubmission")
+	}
+}
+
+// runSweep posts one sweep, polls until every job is terminal, and
+// prints the per-cell IPC table.
+func runSweep(base string, sweep map[string]interface{}) {
+	body, _ := json.Marshal(sweep)
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fail("POST /v1/sweeps: %v", err)
+	}
+	var submitted struct {
+		ID   string                   `json:"id"`
+		Jobs []orchestrator.JobRecord `json:"jobs"`
+	}
+	decode(resp, &submitted)
+	fmt.Printf("  sweep %s: %d jobs\n", submitted.ID, len(submitted.Jobs))
+
+	var st orchestrator.SweepStatus
+	for {
+		mustGet(base+"/v1/sweeps/"+submitted.ID, &st)
+		if st.Done {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cached := 0
+	for _, j := range st.Jobs {
+		if j.Status != orchestrator.StatusDone {
+			fail("job %s: %s %s", j.ID, j.Status, j.Error)
+		}
+		if j.Cached {
+			cached++
+		}
+		fmt.Printf("  %-12s %-14s IPC %.3f  %s\n",
+			j.Result.Config, j.Result.Benchmark, j.Result.IPC, tag(j.Cached))
+	}
+	fmt.Printf("  done: %d/%d cells served from cache\n", cached, st.Total)
+}
+
+func tag(cached bool) string {
+	if cached {
+		return "[cache hit]"
+	}
+	return "[simulated]"
+}
+
+func mustGet(url string, dst interface{}) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fail("GET %s: %v", url, err)
+	}
+	decode(resp, dst)
+}
+
+func decode(resp *http.Response, dst interface{}) {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		fail("%s: %s", resp.Status, e["error"])
+	}
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		fail("decode: %v", err)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "service_client: "+format+"\n", args...)
+	os.Exit(1)
+}

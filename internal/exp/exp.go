@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -19,9 +20,9 @@ import (
 // after 200M of warmup per benchmark; scaled-down windows preserve the
 // shape on the synthetic workloads.
 type Mode struct {
-	Name    string
-	Warmup  uint64
-	Measure uint64
+	Name    string `json:"name"`
+	Warmup  uint64 `json:"warmup"`
+	Measure uint64 `json:"measure"`
 }
 
 // Quick is the test/bench default.
@@ -70,11 +71,21 @@ type Result struct {
 // RunOne executes a single measurement: build, functional prewarm, timed
 // warmup window, then the measured window (delta statistics).
 func RunOne(spec Spec, prof workload.Profile, mode Mode, seed uint64) Result {
+	return RunOneCtx(context.Background(), spec, prof, mode, seed, nil)
+}
+
+// RunOneCtx is the reusable single-run primitive behind RunOne, the table
+// generators and the orchestration service. The context is polled between
+// simulation chunks so a long run can be cancelled mid-flight; progress
+// (when non-nil) receives (committed, total) instruction counts as the
+// run advances. A cancelled run returns ctx.Err() in Result.Err.
+func RunOneCtx(ctx context.Context, spec Spec, prof workload.Profile, mode Mode, seed uint64, progress func(done, total uint64)) Result {
 	res := Result{Spec: spec, Bench: prof}
+	total := mode.Warmup + mode.Measure
 	sys, err := hier.Build(spec.Kind, prof, hier.Options{
 		LNUCALevels: spec.Levels,
 		Seed:        seed,
-		MaxInstr:    mode.Warmup + mode.Measure,
+		MaxInstr:    total,
 	})
 	if err != nil {
 		res.Err = err
@@ -82,16 +93,32 @@ func RunOne(spec Spec, prof workload.Profile, mode Mode, seed uint64) Result {
 	}
 	sys.Prewarm()
 
+	report := func() {
+		if progress != nil {
+			progress(sys.Core.Committed, total)
+		}
+	}
+
 	// Warmup window: run until the core commits the warmup budget.
 	const chunk = 2048
 	for sys.Core.Committed < mode.Warmup && !sys.Kernel.Stopped() {
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
 		sys.Run(chunk)
+		report()
 	}
 	startStats := sys.Collect()
 	startCycles := sys.Core.Cycles
 
 	for !sys.Kernel.Stopped() {
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
 		sys.Run(chunk)
+		report()
 	}
 	endStats := sys.Collect()
 	res.Stats = stats.Delta(endStats, startStats)

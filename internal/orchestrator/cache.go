@@ -1,0 +1,152 @@
+package orchestrator
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache memoizes job results by content address: an in-memory LRU in
+// front of an optional JSON file store, so identical runs are never
+// recomputed — not within a process, and with a store directory not
+// across processes either.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	cap     int
+	dir     string // "" = memory only
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *JobResult
+}
+
+// NewCache creates a cache holding up to capacity results in memory
+// (capacity <= 0 selects a generous default). dir, when non-empty, is
+// created on demand and used as a write-through JSON file store keyed by
+// content address; corrupt or missing files degrade to cache misses.
+func NewCache(capacity int, dir string) *Cache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Cache{
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		cap:     capacity,
+		dir:     dir,
+	}
+}
+
+// Get returns the memoized result for a content key, consulting the file
+// store on an in-memory miss.
+func (c *Cache) Get(key string) (*JobResult, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		res := el.Value.(*cacheEntry).res // read under the lock: install may overwrite it
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return res, true
+	}
+	c.mu.Unlock()
+	if res, ok := c.load(key); ok {
+		c.install(key, res)
+		c.hits.Add(1)
+		return res, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put memoizes a result, evicting the least recently used entry when the
+// memory capacity is exceeded and writing through to the file store.
+func (c *Cache) Put(key string, res *JobResult) {
+	c.install(key, res)
+	if c.dir != "" {
+		if err := c.save(key, res); err != nil {
+			// The store is an optimization; a failed write only costs a
+			// recomputation in a future process.
+			fmt.Fprintf(os.Stderr, "orchestrator: cache store: %v\n", err)
+		}
+	}
+}
+
+func (c *Cache) install(key string, res *JobResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for len(c.entries) > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Hits and Misses report the lookup counters; HitRate is hits over
+// lookups (zero when nothing was looked up yet).
+func (c *Cache) Hits() uint64   { return c.hits.Load() }
+func (c *Cache) Misses() uint64 { return c.misses.Load() }
+
+// HitRate returns hits / (hits + misses).
+func (c *Cache) HitRate() float64 {
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+func (c *Cache) load(key string) (*JobResult, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var res JobResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+func (c *Cache) save(key string, res *JobResult) error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	tmp := c.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.path(key))
+}

@@ -1,0 +1,142 @@
+// Package orchestrator is the experiment orchestration layer between the
+// simulation kernel and the front-ends: a job model with a canonical
+// content-addressed key, a memoizing result cache (in-memory LRU plus an
+// optional JSON file store), a bounded priority worker pool with
+// cancellation and progress, and the HTTP JSON API served by cmd/lnucad.
+//
+// The design premise (shared with Sniper-style NUCA studies and
+// GPU-scale NOC simulation work) is that at scale the bottleneck is
+// orchestration — scheduling many configurations and never recomputing
+// what you already know — not the per-run kernel.
+package orchestrator
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/hier"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Job names one simulation: a hierarchy, its L-NUCA depth where
+// applicable, a benchmark, a run mode, and a seed. Two Jobs with the same
+// canonical Key are the same computation and share one result.
+type Job struct {
+	Kind      hier.Kind `json:"-"`
+	Hierarchy string    `json:"hierarchy"` // paper-style name, set by Normalize
+	Levels    int       `json:"levels,omitempty"`
+	Benchmark string    `json:"benchmark"`
+	Mode      exp.Mode  `json:"mode"`
+	Seed      uint64    `json:"seed"`
+	// Priority orders the queue: higher runs first. It is not part of
+	// the content key.
+	Priority int `json:"priority,omitempty"`
+}
+
+// Normalize canonicalizes a job so that equivalent submissions collapse
+// onto one key: defaulted seed and levels, levels cleared for
+// hierarchies without an L-NUCA, benchmark validated against the
+// catalog, and mode reduced to its window sizes.
+func (j Job) Normalize() (Job, error) {
+	if _, ok := workload.ByName(j.Benchmark); !ok {
+		return j, fmt.Errorf("orchestrator: unknown benchmark %q", j.Benchmark)
+	}
+	if j.Seed == 0 {
+		j.Seed = 1
+	}
+	switch j.Kind {
+	case hier.LNUCAL3, hier.LNUCADNUCA:
+		if j.Levels == 0 {
+			j.Levels = 3
+		}
+		if j.Levels < 2 || j.Levels > 6 {
+			return j, fmt.Errorf("orchestrator: unsupported L-NUCA levels %d", j.Levels)
+		}
+	case hier.Conventional, hier.DNUCAOnly:
+		j.Levels = 0
+	default:
+		return j, fmt.Errorf("orchestrator: unknown hierarchy kind %d", j.Kind)
+	}
+	if j.Mode.Warmup == 0 && j.Mode.Measure == 0 {
+		j.Mode = exp.Quick
+	}
+	if j.Mode.Measure == 0 {
+		return j, fmt.Errorf("orchestrator: mode %q has an empty measured window", j.Mode.Name)
+	}
+	j.Hierarchy = j.Spec().Label()
+	return j, nil
+}
+
+// Spec returns the exp harness spec for this job.
+func (j Job) Spec() exp.Spec {
+	return exp.Spec{Kind: j.Kind, Levels: j.Levels}
+}
+
+// Key returns the content address of a normalized job: a SHA-256 over
+// every field that determines the result (mode windows, not the mode's
+// display name; never the priority).
+func (j Job) Key() string {
+	canon := fmt.Sprintf("kind=%d|levels=%d|bench=%s|warmup=%d|measure=%d|seed=%d",
+		j.Kind, j.Levels, j.Benchmark, j.Mode.Warmup, j.Mode.Measure, j.Seed)
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:])
+}
+
+// ParseKind maps user-facing hierarchy names (paper labels and common
+// aliases, case-insensitive) onto hier.Kind.
+func ParseKind(name string) (hier.Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "conventional", "conv", "l2", "l2-256kb":
+		return hier.Conventional, nil
+	case "ln+l3", "lnuca", "lnuca-l3", "lnuca+l3", "ln":
+		return hier.LNUCAL3, nil
+	case "dn-4x8", "dnuca", "dn":
+		return hier.DNUCAOnly, nil
+	case "ln+dn-4x8", "lnuca-dnuca", "lnuca+dnuca", "ln+dn":
+		return hier.LNUCADNUCA, nil
+	}
+	return 0, fmt.Errorf("orchestrator: unknown hierarchy %q (want one of conventional, ln+l3, dn-4x8, ln+dn-4x8)", name)
+}
+
+// ParseMode resolves a mode name ("quick", "full", or "") to its window
+// sizes; empty means quick.
+func ParseMode(name string) (exp.Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "quick":
+		return exp.Quick, nil
+	case "full":
+		return exp.Full, nil
+	}
+	return exp.Mode{}, fmt.Errorf("orchestrator: unknown mode %q (want quick or full)", name)
+}
+
+// JobResult is the servable measurement for one job: what exp.Result
+// carries, in JSON-marshalable form.
+type JobResult struct {
+	Config    string     `json:"config"`
+	Benchmark string     `json:"benchmark"`
+	IPC       float64    `json:"ipc"`
+	Cycles    uint64     `json:"cycles"`
+	EnergyPJ  [4]float64 `json:"energy_pj"` // power.Bucket order
+	Stats     *stats.Set `json:"stats,omitempty"`
+}
+
+// ResultOf converts a successful exp.Result.
+func ResultOf(r exp.Result) *JobResult {
+	out := &JobResult{
+		Config:    r.Spec.Label(),
+		Benchmark: r.Bench.Name,
+		IPC:       r.IPC,
+		Cycles:    r.Cycles,
+		Stats:     r.Stats,
+	}
+	for b := power.Bucket(0); b < 4; b++ {
+		out.EnergyPJ[b] = r.Energy.Get(b)
+	}
+	return out
+}

@@ -1,0 +1,598 @@
+package orchestrator
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/hier"
+	"repro/internal/workload"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the state can no longer change.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// JobRecord is the externally visible snapshot of a submitted job.
+type JobRecord struct {
+	ID       string  `json:"id"`
+	Key      string  `json:"key"`
+	Job      Job     `json:"job"`
+	Status   Status  `json:"status"`
+	Progress float64 `json:"progress"` // 0..1 of the instruction budget
+	// Cached means the job was satisfied from the result cache without
+	// simulating; Coalesced means this submission was merged onto an
+	// already in-flight identical job.
+	Cached    bool       `json:"cached,omitempty"`
+	Coalesced bool       `json:"coalesced,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+}
+
+// RunFunc executes one normalized job. The orchestrator cancels ctx to
+// abort the run; progress receives (committed, total) instruction counts.
+type RunFunc func(ctx context.Context, j Job, progress func(done, total uint64)) (*JobResult, error)
+
+// SimRun is the production RunFunc: it drives the exp harness.
+func SimRun(ctx context.Context, j Job, progress func(done, total uint64)) (*JobResult, error) {
+	prof, ok := workload.ByName(j.Benchmark)
+	if !ok {
+		return nil, fmt.Errorf("orchestrator: unknown benchmark %q", j.Benchmark)
+	}
+	r := exp.RunOneCtx(ctx, j.Spec(), prof, j.Mode, j.Seed, progress)
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	return ResultOf(r), nil
+}
+
+// Config tunes an Orchestrator.
+type Config struct {
+	// Workers bounds concurrent simulations (default: 2).
+	Workers int
+	// Cache memoizes results (default: a fresh memory-only cache).
+	Cache *Cache
+	// Run executes one job (default: SimRun). Tests inject stubs here.
+	Run RunFunc
+	// RecordCap bounds retained job records (default: 4096). Terminal
+	// records beyond the cap are pruned oldest-first so a long-running
+	// daemon's memory stays bounded; queued and running jobs are never
+	// pruned.
+	RecordCap int
+}
+
+// task is the internal mutable state behind a JobRecord.
+type task struct {
+	id       string
+	key      string
+	job      Job
+	status   Status
+	cached   bool
+	errMsg   string
+	result   *JobResult
+	cancel   context.CancelFunc
+	canceled bool // cancel requested while still queued
+	seq      uint64
+	heapIdx  int // -1 when not queued
+
+	progDone, progTotal atomic.Uint64
+}
+
+// Orchestrator owns the job queue, the worker pool and the result cache.
+type Orchestrator struct {
+	cfg   Config
+	cache *Cache
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    taskHeap
+	records  map[string]*task // by job ID
+	byKey    map[string]*task // singleflight: content key -> live task
+	sweeps   map[string][]string
+	terminal []string // terminal record IDs, oldest first (pruning order)
+	seq      uint64
+	closed   bool
+	wg       sync.WaitGroup
+
+	started   time.Time
+	submitted atomic.Uint64
+	coalesced atomic.Uint64
+	executed  atomic.Uint64 // simulations actually run to completion
+	failed    atomic.Uint64
+	canceled  atomic.Uint64
+}
+
+// New starts an orchestrator and its worker pool.
+func New(cfg Config) *Orchestrator {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = NewCache(0, "")
+	}
+	if cfg.Run == nil {
+		cfg.Run = SimRun
+	}
+	if cfg.RecordCap <= 0 {
+		cfg.RecordCap = 4096
+	}
+	o := &Orchestrator{
+		cfg:     cfg,
+		cache:   cfg.Cache,
+		records: make(map[string]*task),
+		byKey:   make(map[string]*task),
+		sweeps:  make(map[string][]string),
+		started: time.Now(),
+	}
+	o.cond = sync.NewCond(&o.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		o.wg.Add(1)
+		go o.worker()
+	}
+	return o
+}
+
+// Cache exposes the orchestrator's result cache (shared with CLIs).
+func (o *Orchestrator) Cache() *Cache { return o.cache }
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("orchestrator: closed")
+
+// Submit enqueues a job. Identical content is never computed twice: a
+// cache hit returns an already-done record; a submission identical to a
+// queued or running job coalesces onto it (same ID, Coalesced set).
+func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
+	nj, err := j.Normalize()
+	if err != nil {
+		return JobRecord{}, err
+	}
+	key := nj.Key()
+	o.submitted.Add(1)
+
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return JobRecord{}, ErrClosed
+	}
+	// Singleflight: merge onto the live task for this content — unless
+	// its cancellation was already requested, in which case a fresh
+	// submission must not inherit the pending cancel.
+	if live, ok := o.byKey[key]; ok && !live.canceled {
+		o.coalesced.Add(1)
+		rec := o.snapshot(live)
+		rec.Coalesced = true
+		o.mu.Unlock()
+		return rec, nil
+	}
+	o.mu.Unlock()
+
+	// Content-addressed memoization (outside the lock: may touch disk).
+	if res, ok := o.cache.Get(key); ok {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		if o.closed {
+			return JobRecord{}, ErrClosed
+		}
+		t := o.newTaskLocked(nj, key)
+		t.status = StatusDone
+		t.cached = true
+		t.result = res
+		t.progDone.Store(1)
+		t.progTotal.Store(1)
+		rec := o.snapshot(t)
+		o.markTerminalLocked(t)
+		return rec, nil
+	}
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return JobRecord{}, ErrClosed
+	}
+	// A concurrent identical submission may have won the race while the
+	// cache was consulted; coalesce late rather than double-compute.
+	if live, ok := o.byKey[key]; ok && !live.canceled {
+		o.coalesced.Add(1)
+		rec := o.snapshot(live)
+		rec.Coalesced = true
+		return rec, nil
+	}
+	t := o.newTaskLocked(nj, key)
+	t.status = StatusQueued
+	o.byKey[key] = t
+	heap.Push(&o.queue, t)
+	o.cond.Signal()
+	return o.snapshot(t), nil
+}
+
+func (o *Orchestrator) newTaskLocked(j Job, key string) *task {
+	o.seq++
+	t := &task{
+		id:      fmt.Sprintf("job-%06d", o.seq),
+		key:     key,
+		job:     j,
+		seq:     o.seq,
+		heapIdx: -1,
+	}
+	o.records[t.id] = t
+	return t
+}
+
+// markTerminalLocked registers a task that just reached a terminal
+// state and prunes the oldest terminal records beyond the retention
+// cap. Live (queued/running) records are never pruned.
+func (o *Orchestrator) markTerminalLocked(t *task) {
+	o.terminal = append(o.terminal, t.id)
+	for len(o.terminal) > 0 && len(o.records) > o.cfg.RecordCap {
+		oldest := o.terminal[0]
+		o.terminal = o.terminal[1:]
+		delete(o.records, oldest)
+	}
+}
+
+// Get returns the record for a job ID.
+func (o *Orchestrator) Get(id string) (JobRecord, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	t, ok := o.records[id]
+	if !ok {
+		return JobRecord{}, false
+	}
+	return o.snapshot(t), true
+}
+
+// Lookup consults the result cache directly by job content, without
+// enqueuing anything. An invalid job is an error, distinct from a
+// valid-but-uncached one (nil, false, nil).
+func (o *Orchestrator) Lookup(j Job) (*JobResult, bool, error) {
+	nj, err := j.Normalize()
+	if err != nil {
+		return nil, false, err
+	}
+	res, ok := o.cache.Get(nj.Key())
+	return res, ok, nil
+}
+
+// List returns every record, optionally filtered by status.
+func (o *Orchestrator) List(status Status) []JobRecord {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]JobRecord, 0, len(o.records))
+	for _, t := range o.records {
+		if status != "" && t.status != status {
+			continue
+		}
+		out = append(out, o.snapshot(t))
+	}
+	return out
+}
+
+// Cancel aborts a job: dequeued if still queued, its context cancelled
+// if running. Terminal jobs are left untouched.
+func (o *Orchestrator) Cancel(id string) (JobRecord, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	t, ok := o.records[id]
+	if !ok {
+		return JobRecord{}, false
+	}
+	switch t.status {
+	case StatusQueued:
+		if t.heapIdx >= 0 {
+			heap.Remove(&o.queue, t.heapIdx)
+		}
+		if o.byKey[t.key] == t {
+			delete(o.byKey, t.key)
+		}
+		t.status = StatusCanceled
+		t.canceled = true
+		o.canceled.Add(1)
+		o.markTerminalLocked(t)
+	case StatusRunning:
+		t.canceled = true
+		if t.cancel != nil {
+			t.cancel()
+		}
+	}
+	return o.snapshot(t), true
+}
+
+// SubmitSweep expands a benchmark x hierarchy matrix into jobs and
+// submits each one, returning the sweep ID and the per-cell records.
+// Every job is validated before any is enqueued, so an invalid cell
+// rejects the whole sweep instead of leaving orphaned runs behind.
+func (o *Orchestrator) SubmitSweep(jobs []Job) (string, []JobRecord, error) {
+	if len(jobs) == 0 {
+		return "", nil, errors.New("orchestrator: empty sweep")
+	}
+	normalized := make([]Job, len(jobs))
+	for i, j := range jobs {
+		nj, err := j.Normalize()
+		if err != nil {
+			return "", nil, fmt.Errorf("sweep cell %d: %w", i, err)
+		}
+		normalized[i] = nj
+	}
+	recs := make([]JobRecord, 0, len(normalized))
+	ids := make([]string, 0, len(normalized))
+	for _, j := range normalized {
+		rec, err := o.Submit(j)
+		if err != nil {
+			return "", nil, err
+		}
+		recs = append(recs, rec)
+		ids = append(ids, rec.ID)
+	}
+	o.mu.Lock()
+	o.seq++
+	sid := fmt.Sprintf("sweep-%04d", o.seq)
+	o.sweeps[sid] = ids
+	o.mu.Unlock()
+	return sid, recs, nil
+}
+
+// SweepStatus summarizes one sweep.
+type SweepStatus struct {
+	ID      string         `json:"id"`
+	Total   int            `json:"total"`
+	ByState map[Status]int `json:"by_state"`
+	// Pruned counts cells whose terminal records aged out of the
+	// retention cap; they completed, but their snapshots are gone.
+	Pruned int         `json:"pruned,omitempty"`
+	Done   bool        `json:"done"` // every job terminal
+	Jobs   []JobRecord `json:"jobs"`
+}
+
+// Sweep returns the aggregated status of a sweep.
+func (o *Orchestrator) Sweep(id string) (SweepStatus, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ids, ok := o.sweeps[id]
+	if !ok {
+		return SweepStatus{}, false
+	}
+	st := SweepStatus{ID: id, Total: len(ids), ByState: map[Status]int{}, Done: true}
+	for _, jid := range ids {
+		t, ok := o.records[jid]
+		if !ok {
+			// Only terminal records are ever pruned.
+			st.Pruned++
+			continue
+		}
+		rec := o.snapshot(t)
+		st.ByState[rec.Status]++
+		if !rec.Status.Terminal() {
+			st.Done = false
+		}
+		st.Jobs = append(st.Jobs, rec)
+	}
+	return st, true
+}
+
+// ExpandSweep builds the job list for hierarchies x benchmarks. Levels
+// applies to hierarchies with an L-NUCA; an empty slice means the
+// default depth 3. Non-L-NUCA hierarchies contribute one spec each.
+func ExpandSweep(kinds []hier.Kind, levels []int, benchmarks []string, mode exp.Mode, seed uint64) []Job {
+	if len(levels) == 0 {
+		levels = []int{3}
+	}
+	var jobs []Job
+	for _, k := range kinds {
+		lvls := []int{0}
+		if k == hier.LNUCAL3 || k == hier.LNUCADNUCA {
+			lvls = levels
+		}
+		for _, lv := range lvls {
+			for _, b := range benchmarks {
+				jobs = append(jobs, Job{Kind: k, Levels: lv, Benchmark: b, Mode: mode, Seed: seed})
+			}
+		}
+	}
+	return jobs
+}
+
+// Metrics is the operational counter snapshot served at /metrics.
+type Metrics struct {
+	QueueDepth    int     `json:"queue_depth"`
+	Running       int     `json:"running"`
+	Workers       int     `json:"workers"`
+	Submitted     uint64  `json:"jobs_submitted"`
+	Coalesced     uint64  `json:"jobs_coalesced"`
+	Executed      uint64  `json:"runs_executed"`
+	Failed        uint64  `json:"runs_failed"`
+	Canceled      uint64  `json:"jobs_canceled"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	RunsPerSecond float64 `json:"runs_per_second"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Metrics snapshots the counters.
+func (o *Orchestrator) Metrics() Metrics {
+	o.mu.Lock()
+	depth := o.queue.Len()
+	running := 0
+	for _, t := range o.records {
+		if t.status == StatusRunning {
+			running++
+		}
+	}
+	o.mu.Unlock()
+	up := time.Since(o.started).Seconds()
+	m := Metrics{
+		QueueDepth:    depth,
+		Running:       running,
+		Workers:       o.cfg.Workers,
+		Submitted:     o.submitted.Load(),
+		Coalesced:     o.coalesced.Load(),
+		Executed:      o.executed.Load(),
+		Failed:        o.failed.Load(),
+		Canceled:      o.canceled.Load(),
+		CacheHits:     o.cache.Hits(),
+		CacheMisses:   o.cache.Misses(),
+		CacheHitRate:  o.cache.HitRate(),
+		UptimeSeconds: up,
+	}
+	if up > 0 {
+		m.RunsPerSecond = float64(m.Executed) / up
+	}
+	return m
+}
+
+// Close stops accepting jobs, cancels running ones, and waits for the
+// workers to exit. Queued jobs are marked canceled.
+func (o *Orchestrator) Close() {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		o.wg.Wait()
+		return
+	}
+	o.closed = true
+	for o.queue.Len() > 0 {
+		t := heap.Pop(&o.queue).(*task)
+		t.status = StatusCanceled
+		if o.byKey[t.key] == t {
+			delete(o.byKey, t.key)
+		}
+		o.canceled.Add(1)
+		o.markTerminalLocked(t)
+	}
+	for _, t := range o.records {
+		if t.status == StatusRunning && t.cancel != nil {
+			t.cancel()
+		}
+	}
+	o.cond.Broadcast()
+	o.mu.Unlock()
+	o.wg.Wait()
+}
+
+// worker is one pool goroutine: pop the highest-priority task, run it,
+// publish the result.
+func (o *Orchestrator) worker() {
+	defer o.wg.Done()
+	for {
+		o.mu.Lock()
+		for o.queue.Len() == 0 && !o.closed {
+			o.cond.Wait()
+		}
+		if o.closed {
+			o.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&o.queue).(*task)
+		t.status = StatusRunning
+		ctx, cancel := context.WithCancel(context.Background())
+		t.cancel = cancel
+		o.mu.Unlock()
+
+		res, err := o.cfg.Run(ctx, t.job, func(done, total uint64) {
+			t.progDone.Store(done)
+			t.progTotal.Store(total)
+		})
+		cancel()
+
+		// Publish the result before releasing the singleflight entry:
+		// otherwise an identical submission landing in between would
+		// neither coalesce nor hit the cache, and re-simulate.
+		if err == nil {
+			o.cache.Put(t.key, res)
+		}
+		o.mu.Lock()
+		// A cancel-then-resubmit may have replaced this key's live task;
+		// only remove the entry if it is still ours.
+		if o.byKey[t.key] == t {
+			delete(o.byKey, t.key)
+		}
+		switch {
+		case err != nil && (errors.Is(err, context.Canceled) || t.canceled):
+			t.status = StatusCanceled
+			t.errMsg = context.Canceled.Error()
+			o.canceled.Add(1)
+		case err != nil:
+			t.status = StatusFailed
+			t.errMsg = err.Error()
+			o.failed.Add(1)
+		default:
+			t.status = StatusDone
+			t.result = res
+			o.executed.Add(1)
+		}
+		o.markTerminalLocked(t)
+		o.mu.Unlock()
+	}
+}
+
+// snapshot renders a task as a JobRecord; callers hold o.mu.
+func (o *Orchestrator) snapshot(t *task) JobRecord {
+	rec := JobRecord{
+		ID:     t.id,
+		Key:    t.key,
+		Job:    t.job,
+		Status: t.status,
+		Cached: t.cached,
+		Error:  t.errMsg,
+	}
+	if total := t.progTotal.Load(); total > 0 {
+		p := float64(t.progDone.Load()) / float64(total)
+		if p > 1 {
+			p = 1
+		}
+		rec.Progress = p
+	}
+	if t.status == StatusDone {
+		rec.Progress = 1
+		rec.Result = t.result
+	}
+	return rec
+}
+
+// taskHeap orders queued tasks by priority (higher first), then by
+// submission order (earlier first).
+type taskHeap []*task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].job.Priority != h[j].job.Priority {
+		return h[i].job.Priority > h[j].job.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *taskHeap) Push(x interface{}) {
+	t := x.(*task)
+	t.heapIdx = len(*h)
+	*h = append(*h, t)
+}
+func (h *taskHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.heapIdx = -1
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,301 @@
+package orchestrator
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/hier"
+	"repro/internal/workload"
+)
+
+// Server exposes an orchestrator as the lnucad HTTP JSON API:
+//
+//	POST   /v1/jobs        submit one job
+//	GET    /v1/jobs        list jobs (?status=queued|running|done|failed|canceled)
+//	GET    /v1/jobs/{id}   poll one job (result inlined when done)
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	POST   /v1/sweeps      submit a benchmark x hierarchy matrix
+//	GET    /v1/sweeps/{id} aggregated sweep status
+//	GET    /v1/results     direct cache lookup by job content
+//	GET    /v1/benchmarks  the synthetic SPEC CPU2006 catalog
+//	GET    /healthz        liveness
+//	GET    /metrics        queue depth, cache hit rate, runs/s, ...
+type Server struct {
+	orch *Orchestrator
+	mux  *http.ServeMux
+}
+
+// NewServer wraps an orchestrator in its HTTP API.
+func NewServer(o *Orchestrator) *Server {
+	s := &Server{orch: o, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
+	s.mux.HandleFunc("/v1/sweeps", s.handleSweeps)
+	s.mux.HandleFunc("/v1/sweeps/", s.handleSweepByID)
+	s.mux.HandleFunc("/v1/results", s.handleResults)
+	s.mux.HandleFunc("/v1/benchmarks", s.handleBenchmarks)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// jobRequest is the POST /v1/jobs body. Mode is a named mode ("quick",
+// "full"); explicit warmup/measure windows override it.
+type jobRequest struct {
+	Hierarchy string `json:"hierarchy"`
+	Levels    int    `json:"levels"`
+	Benchmark string `json:"benchmark"`
+	Mode      string `json:"mode"`
+	Warmup    uint64 `json:"warmup"`
+	Measure   uint64 `json:"measure"`
+	Seed      uint64 `json:"seed"`
+	Priority  int    `json:"priority"`
+}
+
+func (req jobRequest) toJob() (Job, error) {
+	kind, err := ParseKind(req.Hierarchy)
+	if err != nil {
+		return Job{}, err
+	}
+	mode, err := ParseMode(req.Mode)
+	if err != nil {
+		return Job{}, err
+	}
+	if req.Warmup != 0 || req.Measure != 0 {
+		mode = exp.Mode{Name: "custom", Warmup: req.Warmup, Measure: req.Measure}
+	}
+	return Job{
+		Kind:      kind,
+		Levels:    req.Levels,
+		Benchmark: req.Benchmark,
+		Mode:      mode,
+		Seed:      req.Seed,
+		Priority:  req.Priority,
+	}, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.orch.Metrics())
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req jobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad job body: %v", err)
+			return
+		}
+		job, err := req.toJob()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		rec, err := s.orch.Submit(job)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		code := http.StatusAccepted
+		if rec.Status == StatusDone {
+			code = http.StatusOK // served straight from the cache
+		}
+		writeJSON(w, code, rec)
+	case http.MethodGet:
+		status := Status(r.URL.Query().Get("status"))
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"jobs": s.orch.List(status),
+		})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "bad job path %q", r.URL.Path)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		rec, ok := s.orch.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job %q", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	case http.MethodDelete:
+		rec, ok := s.orch.Cancel(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job %q", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+// sweepRequest is the POST /v1/sweeps body. Empty benchmarks means the
+// full 28-benchmark suite; levels applies to L-NUCA hierarchies.
+type sweepRequest struct {
+	Hierarchies []string `json:"hierarchies"`
+	Levels      []int    `json:"levels"`
+	Benchmarks  []string `json:"benchmarks"`
+	Mode        string   `json:"mode"`
+	Warmup      uint64   `json:"warmup"`
+	Measure     uint64   `json:"measure"`
+	Seed        uint64   `json:"seed"`
+}
+
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req sweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad sweep body: %v", err)
+		return
+	}
+	if len(req.Hierarchies) == 0 {
+		writeError(w, http.StatusBadRequest, "sweep needs at least one hierarchy")
+		return
+	}
+	kinds := make([]hier.Kind, 0, len(req.Hierarchies))
+	for _, h := range req.Hierarchies {
+		k, err := ParseKind(h)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		kinds = append(kinds, k)
+	}
+	mode, err := ParseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Warmup != 0 || req.Measure != 0 {
+		mode = exp.Mode{Name: "custom", Warmup: req.Warmup, Measure: req.Measure}
+	}
+	benches := req.Benchmarks
+	if len(benches) == 0 {
+		benches = workload.Names()
+	}
+	jobs := ExpandSweep(kinds, req.Levels, benches, mode, req.Seed)
+	sid, recs, err := s.orch.SubmitSweep(jobs)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]interface{}{
+		"id":   sid,
+		"jobs": recs,
+	})
+}
+
+func (s *Server) handleSweepByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/sweeps/")
+	st, ok := s.orch.Sweep(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleResults answers GET /v1/results?hierarchy=&levels=&benchmark=
+// &mode=&warmup=&measure=&seed= straight from the result cache: 200 with
+// the result on a hit, 404 on a miss. It never enqueues work.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	q := r.URL.Query()
+	req := jobRequest{
+		Hierarchy: q.Get("hierarchy"),
+		Benchmark: q.Get("benchmark"),
+		Mode:      q.Get("mode"),
+	}
+	var err error
+	for _, f := range []struct {
+		name string
+		dst  *uint64
+	}{{"warmup", &req.Warmup}, {"measure", &req.Measure}, {"seed", &req.Seed}} {
+		if v := q.Get(f.name); v != "" {
+			if *f.dst, err = strconv.ParseUint(v, 10, 64); err != nil {
+				writeError(w, http.StatusBadRequest, "bad %s: %v", f.name, err)
+				return
+			}
+		}
+	}
+	if v := q.Get("levels"); v != "" {
+		if req.Levels, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, "bad levels: %v", err)
+			return
+		}
+	}
+	job, err := req.toJob()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, ok, err := s.orch.Lookup(job)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for this configuration")
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"benchmarks": workload.Names(),
+	})
+}

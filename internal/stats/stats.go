@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -122,6 +123,36 @@ func (s *Set) String() string {
 		fmt.Fprintf(&b, "%s=%g\n", k, s.scalars[k])
 	}
 	return b.String()
+}
+
+// setJSON is the wire form of a Set: two plain maps, so results are
+// servable over HTTP and storable in the orchestrator's file cache.
+type setJSON struct {
+	Counters map[string]uint64  `json:"counters"`
+	Scalars  map[string]float64 `json:"scalars,omitempty"`
+}
+
+// MarshalJSON renders the set as {"counters": {...}, "scalars": {...}}.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	return json.Marshal(setJSON{Counters: s.counters, Scalars: s.scalars})
+}
+
+// UnmarshalJSON restores a set written by MarshalJSON. The receiver is
+// reset; a zero-value Set becomes usable.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var w setJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	s.counters = w.Counters
+	s.scalars = w.Scalars
+	if s.counters == nil {
+		s.counters = make(map[string]uint64)
+	}
+	if s.scalars == nil {
+		s.scalars = make(map[string]float64)
+	}
+	return nil
 }
 
 // HarmonicMean returns the harmonic mean of xs. The paper's Figures 4(a)

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -235,5 +236,46 @@ func TestSetString(t *testing.T) {
 	out := s.String()
 	if !strings.Contains(out, "n=2") || !strings.Contains(out, "x=0.5") {
 		t.Errorf("String output wrong:\n%s", out)
+	}
+}
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	s := NewSet()
+	s.Add("l1.hits", 1234)
+	s.Add("l1.misses", 56)
+	s.SetScalar("ln.transport_ratio", 1.013)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Set
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counter("l1.hits") != 1234 || back.Counter("l1.misses") != 56 {
+		t.Errorf("counters lost: %s", back.String())
+	}
+	if back.Scalar("ln.transport_ratio") != 1.013 {
+		t.Errorf("scalar lost: %s", back.String())
+	}
+	// The restored set must be fully usable, not just readable.
+	back.Inc("l1.hits")
+	back.SetScalar("new", 2)
+	if back.Counter("l1.hits") != 1235 || back.Scalar("new") != 2 {
+		t.Error("restored set not mutable")
+	}
+}
+
+func TestSetJSONEmpty(t *testing.T) {
+	// A set restored from minimal JSON (e.g. a hand-written cache file)
+	// must become usable even when maps are absent.
+	var s Set
+	if err := json.Unmarshal([]byte(`{}`), &s); err != nil {
+		t.Fatal(err)
+	}
+	s.Inc("x")
+	s.AddScalar("y", 1)
+	if s.Counter("x") != 1 || s.Scalar("y") != 1 {
+		t.Error("empty-restored set unusable")
 	}
 }
