@@ -2,29 +2,43 @@
 // Figures 4-5. Experiments are selected with -exp; -mode full uses the
 // larger simulation windows.
 //
+// With -cores N (N > 1) it instead runs one multi-programmed CMP mix: N
+// cores with private first levels (-hier selects which of the four
+// Fig. 1 organizations) over the shared 8MB LLC, reporting per-core IPC,
+// aggregate throughput, and weighted speedup against the single-core
+// baselines.
+//
 // Examples:
 //
 //	lnucasim -exp table2
 //	lnucasim -exp fig4a,fig4b -mode full
 //	lnucasim -exp all -benches 403.gcc,482.sphinx3
+//	lnucasim -cores 4 -mix mixed -hier ln+l3
+//	lnucasim -cores 2 -mix 429.mcf,470.lbm -hier conventional -seed 3
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/orchestrator"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma list of: table1,table2,table3,fig4a,fig4b,fig5a,fig5b,all")
-		modeFlag  = flag.String("mode", "quick", "quick or full simulation windows")
-		benchFlag = flag.String("benches", "", "comma list of benchmarks (default: the full 28-benchmark suite)")
-		seedFlag  = flag.Uint64("seed", 1, "simulation seed")
+		expFlag    = flag.String("exp", "all", "comma list of: table1,table2,table3,fig4a,fig4b,fig5a,fig5b,all")
+		modeFlag   = flag.String("mode", "quick", "quick or full simulation windows")
+		benchFlag  = flag.String("benches", "", "comma list of benchmarks (default: the full 28-benchmark suite)")
+		seedFlag   = flag.Uint64("seed", 1, "simulation seed")
+		coresFlag  = flag.Int("cores", 0, "CMP mode: number of cores (2..8; 0 = single-core paper experiments)")
+		mixFlag    = flag.String("mix", "mixed", "CMP workload mix: a named mix ("+strings.Join(workload.MixNames(), "|")+"), 'random', or a comma list of benchmarks")
+		hierFlag   = flag.String("hier", "ln+l3", "CMP hierarchy: conventional, ln+l3, dn-4x8, or ln+dn-4x8")
+		levelsFlag = flag.Int("levels", 3, "L-NUCA levels for CMP L-NUCA hierarchies (2..6)")
 	)
 	flag.Parse()
 
@@ -33,6 +47,14 @@ func main() {
 		mode = exp.Full
 	} else if *modeFlag != "quick" {
 		fatalf("unknown -mode %q (quick|full)", *modeFlag)
+	}
+
+	if *coresFlag > 0 {
+		if *coresFlag < 2 || *coresFlag > 8 {
+			fatalf("-cores wants 2..8, got %d", *coresFlag)
+		}
+		runCMPMix(*coresFlag, *mixFlag, *hierFlag, *levelsFlag, mode, *seedFlag)
+		return
 	}
 
 	benches := workload.Suite()
@@ -106,6 +128,47 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+// runCMPMix executes one multi-programmed mix and prints the per-core
+// report plus the multi-programmed aggregates.
+func runCMPMix(cores int, mix, hierName string, levels int, mode exp.Mode, seed uint64) {
+	kind, err := orchestrator.ParseKind(hierName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	benchmarks, err := workload.ResolveMix(mix, cores, seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	spec := exp.MixSpec{Kind: kind, Levels: levels, Benchmarks: benchmarks}
+	fmt.Printf("running %s mix [%s] (%s mode, seed %d)...\n",
+		spec.Label(), strings.Join(benchmarks, ", "), mode.Name, seed)
+	r := exp.RunMix(spec, mode, seed)
+	if r.Err != nil {
+		fatalf("mix failed: %v", r.Err)
+	}
+
+	// Single-core baselines for the weighted-speedup column, one run per
+	// distinct benchmark.
+	baseline, err := exp.Baselines(context.Background(), exp.Spec{Kind: kind, Levels: levels}, benchmarks, mode, seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Println(exp.MixTable(r, baseline))
+	ws, err := exp.WeightedSpeedup(r.PerCore, baseline)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("aggregate throughput: %.3f IPC over %d cycles\n", r.Throughput, r.Cycles)
+	fmt.Printf("weighted speedup:     %.3f (of %d ideal)\n", ws, cores)
+	var grants, conflicts uint64
+	for i := 0; i < cores; i++ {
+		grants += r.Stats.Counter(fmt.Sprintf("arb.grants.c%d", i))
+		conflicts += r.Stats.Counter(fmt.Sprintf("arb.conflicts.c%d", i))
+	}
+	fmt.Printf("shared-LLC arbiter:   %d grants, %d conflict cycles\n", grants, conflicts)
 }
 
 func fatalf(format string, args ...interface{}) {

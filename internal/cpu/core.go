@@ -530,6 +530,10 @@ func (c *Core) tlbLookup(a mem.Addr) int {
 	return c.cfg.TLBMissLatency
 }
 
+// MaxCommitPerCycle returns the commit width, the hard per-cycle bound
+// on retirement (window-boundary clamping in the experiment harness).
+func (c *Core) MaxCommitPerCycle() int { return c.cfg.CommitWidth }
+
 // IPC returns committed instructions per cycle.
 func (c *Core) IPC() float64 {
 	if c.Cycles == 0 {

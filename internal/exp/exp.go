@@ -99,14 +99,19 @@ func RunOneCtx(ctx context.Context, spec Spec, prof workload.Profile, mode Mode,
 		}
 	}
 
-	// Warmup window: run until the core commits the warmup budget.
+	// Warmup window: run until the core commits the warmup budget. The
+	// final chunks are clamped to the remaining budget so the measured
+	// window starts within a commit-width of the boundary — a fixed-size
+	// final chunk would overshoot by up to chunk-1 committed
+	// instructions and make the window start a function of the chunk
+	// constant.
 	const chunk = 2048
 	for sys.Core.Committed < mode.Warmup && !sys.Kernel.Stopped() {
 		if err := ctx.Err(); err != nil {
 			res.Err = err
 			return res
 		}
-		sys.Run(chunk)
+		sys.Run(clampChunk(chunk, mode.Warmup-sys.Core.Committed, sys.Core.MaxCommitPerCycle()))
 		report()
 	}
 	startStats := sys.Collect()
@@ -129,6 +134,25 @@ func RunOneCtx(ctx context.Context, spec Spec, prof workload.Profile, mode Mode,
 	}
 	res.Energy = sys.Energy(res.Stats, res.Cycles)
 	return res
+}
+
+// clampChunk sizes a simulation chunk (in cycles) so that a core with
+// remaining committed-instruction budget rem cannot overshoot a window
+// boundary by more than commitWidth-1 instructions: a core retires at
+// most commitWidth instructions per cycle, so rem/commitWidth cycles can
+// never exceed the budget, and the 1-cycle floor keeps progress.
+func clampChunk(chunk, rem uint64, commitWidth int) uint64 {
+	if commitWidth < 1 {
+		commitWidth = 1
+	}
+	bound := rem / uint64(commitWidth)
+	if bound < 1 {
+		bound = 1
+	}
+	if bound < chunk {
+		return bound
+	}
+	return chunk
 }
 
 // Matrix runs every benchmark under every spec, in parallel across

@@ -1,0 +1,307 @@
+package hier
+
+// Multi-programmed CMP assembly: N out-of-order cores, each with its own
+// private first levels (L1+L2, or an L-NUCA fabric, per the four Fig. 1
+// organizations), contending for one shared 8MB last level — an SRAM L3
+// or a D-NUCA — and, behind it, the single main-memory channel. The
+// shared structure sits behind a round-robin bandwidth arbiter
+// (mem.Arbiter), which is where inter-core interference becomes visible:
+// its grant/conflict counters are the contention statistics.
+//
+// Each core runs its own benchmark in a disjoint address space (core
+// index << 32), the standard multi-programmed methodology: no sharing,
+// pure capacity and bandwidth contention, as in the CMP NUCA studies
+// this mode is modeled after.
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/dnuca"
+	"repro/internal/lnuca"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// MaxCMPCores bounds a CMP build; the paper-scale LLC stops making sense
+// beyond 8 contenders.
+const MaxCMPCores = 8
+
+// coreAddrStride separates per-core address spaces (4GB each, far beyond
+// any region a profile touches).
+const coreAddrStride = mem.Addr(1) << 32
+
+// CMPOptions tunes a multi-core build.
+type CMPOptions struct {
+	// LNUCALevels and Seed mean what they do in Options.
+	LNUCALevels int
+	Seed        uint64
+	// Core overrides the per-core processor model (zero value = default).
+	Core cpu.Config
+	// LLCGrantsPerCycle bounds requests entering the shared LLC per cycle
+	// (default 1, the Table I single-ported LLC).
+	LLCGrantsPerCycle int
+	// ShuffleRegistration, when non-zero, registers components with the
+	// kernel in a seeded permuted order. Results must not change — the
+	// two-phase kernel guarantees order independence — so tests use this
+	// to prove the CMP wiring keeps that property.
+	ShuffleRegistration uint64
+}
+
+// CMPSystem is one fully-wired multi-core machine.
+type CMPSystem struct {
+	Kind   Kind
+	Name   string
+	Kernel *sim.Kernel
+	Cores  []*cpu.Core
+	// Per-core private levels (nil entries where the kind has none).
+	L1s     []*cache.Controller
+	L2s     []*cache.Controller
+	Fabrics []*lnuca.Fabric
+	// Shared last level: L3 for Conventional/LNUCAL3, DN otherwise.
+	L3     *cache.Controller
+	DN     *dnuca.DNUCA
+	Arb    *mem.Arbiter
+	Memory *mem.MainMemory
+
+	ids      mem.IDSource
+	levels   int
+	profiles []workload.Profile
+}
+
+// NumCores returns the core count.
+func (s *CMPSystem) NumCores() int { return len(s.Cores) }
+
+// CoreOffset returns core i's address-space base.
+func CoreOffset(i int) mem.Addr { return mem.Addr(i) * coreAddrStride }
+
+// coreSeed derives core i's seed from the run seed; distinct per core so
+// two copies of one benchmark do not run in lockstep.
+func coreSeed(seed uint64, i int) uint64 {
+	return seed + uint64(i)*0x9E3779B97F4A7C15
+}
+
+// BuildCMP wires a CMP running one workload profile per core. Every core
+// gets the private side of the chosen Fig. 1 organization; the 8MB last
+// level and the memory channel are shared through the arbiter.
+func BuildCMP(kind Kind, profs []workload.Profile, opt CMPOptions) (*CMPSystem, error) {
+	n := len(profs)
+	if n < 1 || n > MaxCMPCores {
+		return nil, fmt.Errorf("hier: CMP wants 1..%d cores, got %d", MaxCMPCores, n)
+	}
+	if opt.LNUCALevels == 0 {
+		opt.LNUCALevels = 3
+	}
+	if opt.LNUCALevels < 2 || opt.LNUCALevels > 6 {
+		return nil, fmt.Errorf("hier: unsupported L-NUCA levels %d", opt.LNUCALevels)
+	}
+	s := &CMPSystem{
+		Kind:     kind,
+		Kernel:   sim.NewKernel(),
+		levels:   opt.LNUCALevels,
+		profiles: profs,
+	}
+	s.Name = fmt.Sprintf("%dx %s", n, kind.String())
+
+	coreCfg := opt.Core
+	if coreCfg.FetchWidth == 0 {
+		coreCfg = cpu.DefaultConfig()
+	}
+
+	var comps []sim.Component
+	upPorts := make([]*mem.Port, n)
+	for i, prof := range profs {
+		seed := coreSeed(opt.Seed, i)
+		gen, err := workload.NewGeneratorAt(prof, seed, CoreOffset(i))
+		if err != nil {
+			return nil, err
+		}
+		cpuPort := mem.NewPort(8, 8)
+		// Cores never stop the kernel on their own (maxInstr 0): in a
+		// multi-programmed run a finished core keeps executing to keep
+		// pressure on the shared levels while slower cores measure.
+		core := cpu.New(fmt.Sprintf("core%d", i), coreCfg, gen, cpuPort, &s.ids, 0)
+		s.Cores = append(s.Cores, core)
+		comps = append(comps, core)
+
+		llcSide := mem.NewPort(8, 8)
+		switch kind {
+		case Conventional:
+			l1l2 := mem.NewPort(8, 8)
+			l1cfg := l1Config()
+			l1cfg.Name = fmt.Sprintf("L1.%d", i)
+			l2cfg := l2Config()
+			l2cfg.Name = fmt.Sprintf("L2.%d", i)
+			l1 := cache.NewController(l1cfg, cpuPort, l1l2, &s.ids)
+			l2 := cache.NewController(l2cfg, l1l2, llcSide, &s.ids)
+			s.L1s = append(s.L1s, l1)
+			s.L2s = append(s.L2s, l2)
+			comps = append(comps, l1, l2)
+		case LNUCAL3, LNUCADNUCA:
+			fcfg := lnuca.DefaultConfig(opt.LNUCALevels)
+			fcfg.Name = fmt.Sprintf("LN%d.%d", opt.LNUCALevels, i)
+			fcfg.Seed = seed | 1
+			fab, err := lnuca.NewFabric(fcfg, cpuPort, llcSide, &s.ids)
+			if err != nil {
+				return nil, err
+			}
+			s.Fabrics = append(s.Fabrics, fab)
+			comps = append(comps, fab)
+		case DNUCAOnly:
+			l1cfg := l1Config()
+			l1cfg.Name = fmt.Sprintf("L1.%d", i)
+			l1 := cache.NewController(l1cfg, cpuPort, llcSide, &s.ids)
+			s.L1s = append(s.L1s, l1)
+			comps = append(comps, l1)
+		default:
+			return nil, fmt.Errorf("hier: unknown kind %d", kind)
+		}
+		upPorts[i] = llcSide
+	}
+
+	// The shared side: arbiter -> LLC -> memory channel.
+	sharedUp := mem.NewPort(2*n, 2*n)
+	arb, err := mem.NewArbiter(mem.ArbiterConfig{
+		Name:           "llc-arb",
+		GrantsPerCycle: opt.LLCGrantsPerCycle,
+	}, upPorts, sharedUp)
+	if err != nil {
+		return nil, err
+	}
+	s.Arb = arb
+	comps = append(comps, arb)
+
+	memPort := mem.NewPort(8, 8)
+	switch kind {
+	case Conventional, LNUCAL3:
+		s.L3 = cache.NewController(l3Config(), sharedUp, memPort, &s.ids)
+		comps = append(comps, s.L3)
+	case DNUCAOnly, LNUCADNUCA:
+		s.DN, err = dnuca.New(dnuca.DefaultConfig(), sharedUp, memPort, &s.ids)
+		if err != nil {
+			return nil, err
+		}
+		comps = append(comps, s.DN)
+	}
+	s.Memory = mem.NewMainMemory("dram", mem.DefaultMainMemoryConfig(), memPort)
+	comps = append(comps, s.Memory)
+
+	if opt.ShuffleRegistration != 0 {
+		perm := make([]int, len(comps))
+		sim.NewRand(opt.ShuffleRegistration).Perm(perm)
+		shuffled := make([]sim.Component, len(comps))
+		for i, j := range perm {
+			shuffled[i] = comps[j]
+		}
+		comps = shuffled
+	}
+	for _, c := range comps {
+		s.Kernel.MustRegister(c)
+	}
+	return s, nil
+}
+
+// Prewarm functionally warms every core's private levels with its own
+// regions and installs all cores' working sets into the shared LLC, the
+// CMP counterpart of System.Prewarm.
+func (s *CMPSystem) Prewarm() {
+	fill32 := func(bank *cache.Bank, base mem.Addr, kb int) {
+		for off := 0; off < kb<<10; off += 32 {
+			bank.Fill(base+mem.Addr(off), false)
+		}
+	}
+	for i, prof := range s.profiles {
+		off := CoreOffset(i)
+		hotB, hotKB := workload.HotRange(prof)
+		warmB, warmKB := workload.WarmRange(prof)
+		coolB, coolKB := workload.CoolRange(prof)
+		hotB, warmB, coolB = hotB+off, warmB+off, coolB+off
+
+		switch s.Kind {
+		case Conventional:
+			fill32(s.L1s[i].Bank(), hotB, hotKB)
+			for o := 0; o < warmKB<<10; o += 64 {
+				s.L2s[i].Bank().Fill(warmB+mem.Addr(o), false)
+			}
+			prewarmLLC(s.L3, hotB, hotKB, warmB, warmKB, coolB, coolKB)
+		case LNUCAL3:
+			fill32(s.Fabrics[i].RTileBank(), hotB, hotKB)
+			prewarmTiles(s.Fabrics[i], warmB, warmKB)
+			prewarmLLC(s.L3, hotB, hotKB, warmB, warmKB, coolB, coolKB)
+		case DNUCAOnly:
+			fill32(s.L1s[i].Bank(), hotB, hotKB)
+			prewarmDN(s.DN, hotB, hotKB, warmB, warmKB, coolB, coolKB)
+		case LNUCADNUCA:
+			fill32(s.Fabrics[i].RTileBank(), hotB, hotKB)
+			prewarmTiles(s.Fabrics[i], warmB, warmKB)
+			prewarmDN(s.DN, hotB, hotKB, warmB, warmKB, coolB, coolKB)
+		}
+	}
+}
+
+// Run advances the machine by at most maxCycles.
+func (s *CMPSystem) Run(maxCycles uint64) uint64 {
+	return s.Kernel.Run(maxCycles)
+}
+
+// MinCommitted returns the smallest committed-instruction count across
+// cores: the multi-programmed window boundary tracker.
+func (s *CMPSystem) MinCommitted() uint64 {
+	min := s.Cores[0].Committed
+	for _, c := range s.Cores[1:] {
+		if c.Committed < min {
+			min = c.Committed
+		}
+	}
+	return min
+}
+
+// Collect gathers every component's statistics, namespacing each core's
+// private side under "c<i>." and keeping shared structures global.
+func (s *CMPSystem) Collect() *stats.Set {
+	set := stats.NewSet()
+	for i, core := range s.Cores {
+		per := stats.NewSet()
+		core.Collect("core", per)
+		if i < len(s.L1s) && s.L1s[i] != nil {
+			s.L1s[i].Collect("l1", per)
+		}
+		if i < len(s.L2s) && s.L2s[i] != nil {
+			s.L2s[i].Collect("l2", per)
+		}
+		if i < len(s.Fabrics) && s.Fabrics[i] != nil {
+			s.Fabrics[i].Collect("ln", per)
+		}
+		set.MergePrefixed(fmt.Sprintf("c%d", i), per)
+	}
+	if s.L3 != nil {
+		s.L3.Collect("l3", set)
+	}
+	if s.DN != nil {
+		s.DN.Collect("dn", set)
+	}
+	for i := range s.Arb.Granted {
+		set.Add(fmt.Sprintf("arb.grants.c%d", i), s.Arb.Granted[i])
+		set.Add(fmt.Sprintf("arb.conflicts.c%d", i), s.Arb.Conflicts[i])
+	}
+	set.Add("arb.resp_routed", s.Arb.RespRouted)
+	set.Add("mem.reads", s.Memory.Reads)
+	set.Add("mem.writebacks", s.Memory.Writebacks)
+	return set
+}
+
+// CheckInvariants verifies per-fabric structural invariants.
+func (s *CMPSystem) CheckInvariants() error {
+	for i, f := range s.Fabrics {
+		if f == nil {
+			continue
+		}
+		if err := f.CheckExclusion(); err != nil {
+			return fmt.Errorf("core %d: %w", i, err)
+		}
+	}
+	return nil
+}

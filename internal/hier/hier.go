@@ -263,48 +263,42 @@ func (s *System) Prewarm() {
 		for off := 0; off < warmKB<<10; off += 64 {
 			s.L2.Bank().Fill(warmB+mem.Addr(off), false)
 		}
-		for off := 0; off < (coolKB+warmKB+hotKB)<<10; off += 128 {
-			// L3 is inclusive: hot+warm+cool all present.
-			a := mem.Addr(off)
-			switch {
-			case off < coolKB<<10:
-				a += coolB
-			case off < (coolKB+warmKB)<<10:
-				a = warmB + a - mem.Addr(coolKB<<10)
-			default:
-				a = hotB + a - mem.Addr((coolKB+warmKB)<<10)
-			}
-			s.L3.Bank().Fill(a, false)
-		}
+		prewarmLLC(s.L3, hotB, hotKB, warmB, warmKB, coolB, coolKB)
 	case LNUCAL3:
 		fill32(s.Fabric.RTileBank(), hotB, hotKB)
-		s.prewarmTiles(warmB, warmKB)
-		for off := 0; off < (coolKB+warmKB+hotKB)<<10; off += 128 {
-			a := mem.Addr(off)
-			switch {
-			case off < coolKB<<10:
-				a += coolB
-			case off < (coolKB+warmKB)<<10:
-				a = warmB + a - mem.Addr(coolKB<<10)
-			default:
-				a = hotB + a - mem.Addr((coolKB+warmKB)<<10)
-			}
-			s.L3.Bank().Fill(a, false)
-		}
+		prewarmTiles(s.Fabric, warmB, warmKB)
+		prewarmLLC(s.L3, hotB, hotKB, warmB, warmKB, coolB, coolKB)
 	case DNUCAOnly:
 		fill32(s.L1.Bank(), hotB, hotKB)
-		s.prewarmDN(hotB, hotKB, warmB, warmKB, coolB, coolKB)
+		prewarmDN(s.DN, hotB, hotKB, warmB, warmKB, coolB, coolKB)
 	case LNUCADNUCA:
 		fill32(s.Fabric.RTileBank(), hotB, hotKB)
-		s.prewarmTiles(warmB, warmKB)
-		s.prewarmDN(hotB, hotKB, warmB, warmKB, coolB, coolKB)
+		prewarmTiles(s.Fabric, warmB, warmKB)
+		prewarmDN(s.DN, hotB, hotKB, warmB, warmKB, coolB, coolKB)
+	}
+}
+
+// prewarmLLC installs hot+warm+cool into an inclusive SRAM LLC (the
+// shared structure in CMP builds; per-system in single-core ones).
+func prewarmLLC(l3 *cache.Controller, hotB mem.Addr, hotKB int, warmB mem.Addr, warmKB int, coolB mem.Addr, coolKB int) {
+	for off := 0; off < (coolKB+warmKB+hotKB)<<10; off += 128 {
+		a := mem.Addr(off)
+		switch {
+		case off < coolKB<<10:
+			a += coolB
+		case off < (coolKB+warmKB)<<10:
+			a = warmB + a - mem.Addr(coolKB<<10)
+		default:
+			a = hotB + a - mem.Addr((coolKB+warmKB)<<10)
+		}
+		l3.Bank().Fill(a, false)
 	}
 }
 
 // prewarmTiles spreads warm-region lines across the fabric tiles,
 // innermost levels first, one copy per line (content exclusion).
-func (s *System) prewarmTiles(base mem.Addr, kb int) {
-	g := s.Fabric.Geometry()
+func prewarmTiles(f *lnuca.Fabric, base mem.Addr, kb int) {
+	g := f.Geometry()
 	// Order sites by latency: hotter lines closer to the r-tile.
 	var order []int
 	for lat := 3; lat <= g.MaxLatency(); lat++ {
@@ -324,7 +318,7 @@ func (s *System) prewarmTiles(base mem.Addr, kb int) {
 		// most one copy).
 		placed := false
 		for try := 0; try < len(order) && !placed; try++ {
-			b := s.Fabric.TileBank(order[(idx+try)%len(order)])
+			b := f.TileBank(order[(idx+try)%len(order)])
 			if b.HasSpace(line) {
 				b.Fill(line, false)
 				placed = true
@@ -336,14 +330,14 @@ func (s *System) prewarmTiles(base mem.Addr, kb int) {
 
 // prewarmDN installs regions into the D-NUCA: warm in the closest rows,
 // cool behind, matching post-migration steady state.
-func (s *System) prewarmDN(hotB mem.Addr, hotKB int, warmB mem.Addr, warmKB int, coolB mem.Addr, coolKB int) {
+func prewarmDN(dn *dnuca.DNUCA, hotB mem.Addr, hotKB int, warmB mem.Addr, warmKB int, coolB mem.Addr, coolKB int) {
 	cfg := dnuca.DefaultConfig()
 	put := func(base mem.Addr, kb int, startRow int) {
 		for off := 0; off < kb<<10; off += 128 {
 			line := base + mem.Addr(off)
 			col := int((uint64(line) / 128) % uint64(cfg.Cols))
 			for r := startRow; r < cfg.Rows; r++ {
-				b := s.DN.BankArray(col, r)
+				b := dn.BankArray(col, r)
 				if b.HasSpace(line) {
 					b.Fill(line, false)
 					break

@@ -125,15 +125,32 @@ func (c *Cache) load(key string) (*JobResult, bool) {
 	if c.dir == "" {
 		return nil, false
 	}
-	data, err := os.ReadFile(c.path(key))
+	path := c.path(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
 	var res JobResult
 	if err := json.Unmarshal(data, &res); err != nil {
+		// A corrupt store entry would otherwise degrade this key to a
+		// miss on every future lookup (the recomputed result lands in
+		// memory first, and a daemon restart re-reads the bad file).
+		// Remove it so the result is recomputed and re-stored once.
+		c.discardCorrupt(path, err)
+		return nil, false
+	}
+	if !res.Valid() {
+		c.discardCorrupt(path, fmt.Errorf("decoded result is structurally invalid"))
 		return nil, false
 	}
 	return &res, true
+}
+
+func (c *Cache) discardCorrupt(path string, cause error) {
+	fmt.Fprintf(os.Stderr, "orchestrator: removing corrupt cache entry %s: %v\n", path, cause)
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "orchestrator: cache remove: %v\n", err)
+	}
 }
 
 func (c *Cache) save(key string, res *JobResult) error {

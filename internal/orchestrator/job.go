@@ -24,30 +24,70 @@ import (
 )
 
 // Job names one simulation: a hierarchy, its L-NUCA depth where
-// applicable, a benchmark, a run mode, and a seed. Two Jobs with the same
-// canonical Key are the same computation and share one result.
+// applicable, a benchmark (or, in CMP mode, a core count and a workload
+// mix), a run mode, and a seed. Two Jobs with the same canonical Key are
+// the same computation and share one result.
 type Job struct {
 	Kind      hier.Kind `json:"-"`
 	Hierarchy string    `json:"hierarchy"` // paper-style name, set by Normalize
 	Levels    int       `json:"levels,omitempty"`
-	Benchmark string    `json:"benchmark"`
-	Mode      exp.Mode  `json:"mode"`
-	Seed      uint64    `json:"seed"`
+	Benchmark string    `json:"benchmark,omitempty"`
+	// Cores selects the multi-programmed CMP mode when > 1: Cores
+	// out-of-order cores with private first levels over the shared LLC.
+	Cores int `json:"cores,omitempty"`
+	// Mix is the CMP workload spec: a named mix ("mixed", "memory", ...),
+	// "random" for a seeded draw, or an explicit comma-separated
+	// benchmark list. Normalize resolves it into MixBenchmarks.
+	Mix string `json:"mix,omitempty"`
+	// MixBenchmarks is the resolved mix, one benchmark per core — the
+	// content that is keyed, so a "random" draw memoizes as the concrete
+	// benchmarks it resolved to.
+	MixBenchmarks []string `json:"mix_benchmarks,omitempty"`
+	Mode          exp.Mode `json:"mode"`
+	Seed          uint64   `json:"seed"`
 	// Priority orders the queue: higher runs first. It is not part of
 	// the content key.
 	Priority int `json:"priority,omitempty"`
 }
 
+// IsMix reports whether the job is a multi-programmed CMP run.
+func (j Job) IsMix() bool { return j.Cores > 1 }
+
 // Normalize canonicalizes a job so that equivalent submissions collapse
 // onto one key: defaulted seed and levels, levels cleared for
 // hierarchies without an L-NUCA, benchmark validated against the
-// catalog, and mode reduced to its window sizes.
+// catalog, mix resolved to concrete benchmarks, and mode reduced to its
+// window sizes.
 func (j Job) Normalize() (Job, error) {
-	if _, ok := workload.ByName(j.Benchmark); !ok {
-		return j, fmt.Errorf("orchestrator: unknown benchmark %q", j.Benchmark)
-	}
 	if j.Seed == 0 {
 		j.Seed = 1
+	}
+	switch {
+	case j.Cores < 0 || j.Cores > hier.MaxCMPCores:
+		return j, fmt.Errorf("orchestrator: cores must be 0 (single-core) or 2..%d (CMP), got %d", hier.MaxCMPCores, j.Cores)
+	case j.Cores == 1:
+		return j, fmt.Errorf("orchestrator: cores 1 is not a CMP — omit cores for a single-core job, or use 2..%d with a mix", hier.MaxCMPCores)
+	case j.Cores == 0 && j.Mix != "":
+		return j, fmt.Errorf("orchestrator: mix %q needs cores 2..%d", j.Mix, hier.MaxCMPCores)
+	case j.IsMix():
+		if j.Benchmark != "" {
+			return j, fmt.Errorf("orchestrator: a mix job takes cores+mix, not benchmark %q", j.Benchmark)
+		}
+		// The seed fixes random draws, so the resolved list — the actual
+		// content — is stable and cacheable.
+		resolved, err := workload.ResolveMix(j.Mix, j.Cores, j.Seed)
+		if err != nil {
+			return j, fmt.Errorf("orchestrator: %w", err)
+		}
+		j.MixBenchmarks = resolved
+		j.Mix = strings.TrimSpace(j.Mix)
+	default:
+		j.Cores = 0
+		j.Mix = ""
+		j.MixBenchmarks = nil
+		if _, ok := workload.ByName(j.Benchmark); !ok {
+			return j, fmt.Errorf("orchestrator: unknown benchmark %q", j.Benchmark)
+		}
 	}
 	switch j.Kind {
 	case hier.LNUCAL3, hier.LNUCADNUCA:
@@ -68,21 +108,38 @@ func (j Job) Normalize() (Job, error) {
 	if j.Mode.Measure == 0 {
 		return j, fmt.Errorf("orchestrator: mode %q has an empty measured window", j.Mode.Name)
 	}
-	j.Hierarchy = j.Spec().Label()
+	if j.IsMix() {
+		j.Hierarchy = j.MixSpec().Label()
+	} else {
+		j.Hierarchy = j.Spec().Label()
+	}
 	return j, nil
 }
 
-// Spec returns the exp harness spec for this job.
+// Spec returns the exp harness spec for a single-core job.
 func (j Job) Spec() exp.Spec {
 	return exp.Spec{Kind: j.Kind, Levels: j.Levels}
 }
 
+// MixSpec returns the exp harness spec for a mix job.
+func (j Job) MixSpec() exp.MixSpec {
+	return exp.MixSpec{Kind: j.Kind, Levels: j.Levels, Benchmarks: j.MixBenchmarks}
+}
+
+// keySchema versions the content-key format. Bump it whenever the canon
+// string changes meaning, so stale on-disk results become misses instead
+// of silently serving the wrong computation.
+const keySchema = "lnuca-job-v2"
+
 // Key returns the content address of a normalized job: a SHA-256 over
 // every field that determines the result (mode windows, not the mode's
-// display name; never the priority).
+// display name; never the priority). The hierarchy is identified by its
+// stable paper label, not the numeric enum — reordering or inserting a
+// hier.Kind must never alias previously cached results.
 func (j Job) Key() string {
-	canon := fmt.Sprintf("kind=%d|levels=%d|bench=%s|warmup=%d|measure=%d|seed=%d",
-		j.Kind, j.Levels, j.Benchmark, j.Mode.Warmup, j.Mode.Measure, j.Seed)
+	canon := fmt.Sprintf("%s|hier=%s|levels=%d|bench=%s|cores=%d|mix=%s|warmup=%d|measure=%d|seed=%d",
+		keySchema, j.Kind.String(), j.Levels, j.Benchmark, j.Cores,
+		strings.Join(j.MixBenchmarks, ","), j.Mode.Warmup, j.Mode.Measure, j.Seed)
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:])
 }
@@ -115,15 +172,37 @@ func ParseMode(name string) (exp.Mode, error) {
 	return exp.Mode{}, fmt.Errorf("orchestrator: unknown mode %q (want quick or full)", name)
 }
 
-// JobResult is the servable measurement for one job: what exp.Result
-// carries, in JSON-marshalable form.
+// JobResult is the servable measurement for one job: what exp.Result or
+// exp.MixResult carries, in JSON-marshalable form. Single-core jobs fill
+// Benchmark/IPC/Energy; mix jobs fill Cores/PerCore and the
+// multi-programmed aggregates.
 type JobResult struct {
 	Config    string     `json:"config"`
-	Benchmark string     `json:"benchmark"`
-	IPC       float64    `json:"ipc"`
+	Benchmark string     `json:"benchmark,omitempty"`
+	IPC       float64    `json:"ipc,omitempty"`
 	Cycles    uint64     `json:"cycles"`
 	EnergyPJ  [4]float64 `json:"energy_pj"` // power.Bucket order
-	Stats     *stats.Set `json:"stats,omitempty"`
+
+	// CMP mode.
+	Cores           int              `json:"cores,omitempty"`
+	PerCore         []exp.CoreResult `json:"per_core,omitempty"`
+	ThroughputIPC   float64          `json:"throughput_ipc,omitempty"`
+	WeightedSpeedup float64          `json:"weighted_speedup,omitempty"`
+
+	Stats *stats.Set `json:"stats,omitempty"`
+}
+
+// Valid reports whether a decoded result is structurally plausible: the
+// file-store uses it to tell a real result from a truncated or foreign
+// JSON document that happens to parse.
+func (r *JobResult) Valid() bool {
+	if r == nil || r.Config == "" || r.Cycles == 0 {
+		return false
+	}
+	if r.Cores > 0 {
+		return len(r.PerCore) == r.Cores
+	}
+	return r.Benchmark != ""
 }
 
 // ResultOf converts a successful exp.Result.
@@ -139,4 +218,18 @@ func ResultOf(r exp.Result) *JobResult {
 		out.EnergyPJ[b] = r.Energy.Get(b)
 	}
 	return out
+}
+
+// MixResultOf converts a successful exp.MixResult; weightedSpeedup is
+// computed by the caller from cached single-core baselines.
+func MixResultOf(r exp.MixResult, weightedSpeedup float64) *JobResult {
+	return &JobResult{
+		Config:          r.Spec.Label(),
+		Cores:           len(r.PerCore),
+		PerCore:         r.PerCore,
+		Cycles:          r.Cycles,
+		ThroughputIPC:   r.Throughput,
+		WeightedSpeedup: weightedSpeedup,
+		Stats:           r.Stats,
+	}
 }

@@ -50,7 +50,9 @@ type JobRecord struct {
 // abort the run; progress receives (committed, total) instruction counts.
 type RunFunc func(ctx context.Context, j Job, progress func(done, total uint64)) (*JobResult, error)
 
-// SimRun is the production RunFunc: it drives the exp harness.
+// SimRun is the production RunFunc for single-core jobs: it drives the
+// exp harness. Mix jobs additionally need the result cache (for their
+// single-core baselines); the orchestrator wires SimRunWith by default.
 func SimRun(ctx context.Context, j Job, progress func(done, total uint64)) (*JobResult, error) {
 	prof, ok := workload.ByName(j.Benchmark)
 	if !ok {
@@ -63,13 +65,130 @@ func SimRun(ctx context.Context, j Job, progress func(done, total uint64)) (*Job
 	return ResultOf(r), nil
 }
 
+// SimRunWith returns the production RunFunc backed by a result cache:
+// single-core jobs run directly; mix jobs run the CMP and then resolve
+// their weighted-speedup baselines — one single-core run per distinct
+// benchmark in the mix, under the same hierarchy, mode and seed —
+// through the cache. A per-key singleflight inside the returned closure
+// keeps concurrent workers whose mixes share a benchmark from
+// simulating the same baseline twice: the loser waits for the winner's
+// cache.Put and rereads. (This singleflight is scoped to baseline runs;
+// a user-submitted single-core job racing a baseline with the same key
+// can still compute it once more — the orchestrator's job-level
+// coalescing cannot be consulted from here, and routing baselines
+// through the job queue would deadlock a fully-occupied pool. The race
+// costs at most one duplicate run and both sides publish identical
+// results.) Progress budgets one single-core window per core plus one
+// per distinct baseline, so a mix job keeps reporting honest progress
+// while its baselines run.
+func SimRunWith(cache *Cache) RunFunc {
+	var mu sync.Mutex
+	inflight := make(map[string]chan struct{})
+
+	// baselineIPC resolves one benchmark's single-core IPC through the
+	// cache, simulating on a miss (at most one simulation per key at a
+	// time across workers).
+	baselineIPC := func(ctx context.Context, single Job, progress func(done, total uint64)) (float64, error) {
+		key := single.Key()
+		for {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			if cached, ok := cache.Get(key); ok && cached.Valid() {
+				return cached.IPC, nil
+			}
+			mu.Lock()
+			if done, busy := inflight[key]; busy {
+				mu.Unlock()
+				// Another worker is simulating this baseline; wait for
+				// it to publish (or fail), then reconsult the cache.
+				select {
+				case <-done:
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				}
+				continue
+			}
+			done := make(chan struct{})
+			inflight[key] = done
+			mu.Unlock()
+
+			res, err := SimRun(ctx, single, progress)
+			if err == nil {
+				cache.Put(key, res)
+			}
+			mu.Lock()
+			delete(inflight, key)
+			mu.Unlock()
+			close(done)
+			if err != nil {
+				return 0, fmt.Errorf("baseline %s: %w", single.Benchmark, err)
+			}
+			return res.IPC, nil
+		}
+	}
+
+	return func(ctx context.Context, j Job, progress func(done, total uint64)) (*JobResult, error) {
+		if !j.IsMix() {
+			return SimRun(ctx, j, progress)
+		}
+		// Distinct baselines, in mix order.
+		var distinct []string
+		seen := map[string]bool{}
+		for _, b := range j.MixBenchmarks {
+			if !seen[b] {
+				seen[b] = true
+				distinct = append(distinct, b)
+			}
+		}
+		budget := j.Mode.Warmup + j.Mode.Measure
+		mixUnits := uint64(j.Cores) * budget
+		totalUnits := mixUnits + uint64(len(distinct))*budget
+		stage := func(offset uint64) func(done, total uint64) {
+			if progress == nil {
+				return nil
+			}
+			return func(done, _ uint64) { progress(offset+done, totalUnits) }
+		}
+
+		r := exp.RunMixCtx(ctx, j.MixSpec(), j.Mode, j.Seed, stage(0))
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		baselines := make(map[string]float64, len(distinct))
+		for i, bench := range distinct {
+			single, err := Job{
+				Kind: j.Kind, Levels: j.Levels, Benchmark: bench,
+				Mode: j.Mode, Seed: j.Seed,
+			}.Normalize()
+			if err != nil {
+				return nil, err
+			}
+			ipc, err := baselineIPC(ctx, single, stage(mixUnits+uint64(i)*budget))
+			if err != nil {
+				return nil, err
+			}
+			baselines[bench] = ipc
+		}
+		if progress != nil {
+			progress(totalUnits, totalUnits)
+		}
+		ws, err := exp.WeightedSpeedup(r.PerCore, baselines)
+		if err != nil {
+			return nil, err
+		}
+		return MixResultOf(r, ws), nil
+	}
+}
+
 // Config tunes an Orchestrator.
 type Config struct {
 	// Workers bounds concurrent simulations (default: 2).
 	Workers int
 	// Cache memoizes results (default: a fresh memory-only cache).
 	Cache *Cache
-	// Run executes one job (default: SimRun). Tests inject stubs here.
+	// Run executes one job (default: SimRunWith over Cache). Tests
+	// inject stubs here.
 	Run RunFunc
 	// RecordCap bounds retained job records (default: 4096). Terminal
 	// records beyond the cap are pruned oldest-first so a long-running
@@ -128,7 +247,7 @@ func New(cfg Config) *Orchestrator {
 		cfg.Cache = NewCache(0, "")
 	}
 	if cfg.Run == nil {
-		cfg.Run = SimRun
+		cfg.Run = SimRunWith(cfg.Cache)
 	}
 	if cfg.RecordCap <= 0 {
 		cfg.RecordCap = 4096

@@ -59,11 +59,16 @@ func writeError(w http.ResponseWriter, code int, format string, args ...interfac
 }
 
 // jobRequest is the POST /v1/jobs body. Mode is a named mode ("quick",
-// "full"); explicit warmup/measure windows override it.
+// "full"); explicit warmup/measure windows override it. Setting cores > 1
+// selects the multi-programmed CMP mode: mix (a named mix, "random", or
+// an explicit comma-separated benchmark list) replaces benchmark, and
+// the resolved mix is part of the job's content key.
 type jobRequest struct {
 	Hierarchy string `json:"hierarchy"`
 	Levels    int    `json:"levels"`
 	Benchmark string `json:"benchmark"`
+	Cores     int    `json:"cores"`
+	Mix       string `json:"mix"`
 	Mode      string `json:"mode"`
 	Warmup    uint64 `json:"warmup"`
 	Measure   uint64 `json:"measure"`
@@ -87,6 +92,8 @@ func (req jobRequest) toJob() (Job, error) {
 		Kind:      kind,
 		Levels:    req.Levels,
 		Benchmark: req.Benchmark,
+		Cores:     req.Cores,
+		Mix:       req.Mix,
 		Mode:      mode,
 		Seed:      req.Seed,
 		Priority:  req.Priority,
@@ -242,8 +249,9 @@ func (s *Server) handleSweepByID(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleResults answers GET /v1/results?hierarchy=&levels=&benchmark=
-// &mode=&warmup=&measure=&seed= straight from the result cache: 200 with
-// the result on a hit, 404 on a miss. It never enqueues work.
+// &cores=&mix=&mode=&warmup=&measure=&seed= straight from the result
+// cache: 200 with the result on a hit, 404 on a miss. It never enqueues
+// work.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
@@ -253,6 +261,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	req := jobRequest{
 		Hierarchy: q.Get("hierarchy"),
 		Benchmark: q.Get("benchmark"),
+		Mix:       q.Get("mix"),
 		Mode:      q.Get("mode"),
 	}
 	var err error
@@ -267,10 +276,15 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	if v := q.Get("levels"); v != "" {
-		if req.Levels, err = strconv.Atoi(v); err != nil {
-			writeError(w, http.StatusBadRequest, "bad levels: %v", err)
-			return
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{{"levels", &req.Levels}, {"cores", &req.Cores}} {
+		if v := q.Get(f.name); v != "" {
+			if *f.dst, err = strconv.Atoi(v); err != nil {
+				writeError(w, http.StatusBadRequest, "bad %s: %v", f.name, err)
+				return
+			}
 		}
 	}
 	job, err := req.toJob()
@@ -297,5 +311,6 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"benchmarks": workload.Names(),
+		"mixes":      append(workload.MixNames(), workload.RandomMixName),
 	})
 }

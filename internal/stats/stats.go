@@ -87,6 +87,37 @@ func (s *Set) Merge(other *Set) {
 	}
 }
 
+// MergePrefixed adds every counter and scalar of other into s with
+// prefix+"." prepended: the namespacing a CMP run uses to keep N cores'
+// statistics apart in one set ("c0.core.committed", "c1.l1.misses", ...).
+func (s *Set) MergePrefixed(prefix string, other *Set) {
+	for k, v := range other.counters {
+		s.counters[prefix+"."+k] += v
+	}
+	for k, v := range other.scalars {
+		s.scalars[prefix+"."+k] += v
+	}
+}
+
+// Sub extracts the entries under prefix+"." into a new set with the
+// prefix stripped: the inverse of MergePrefixed, used to slice one
+// core's view out of a CMP run.
+func (s *Set) Sub(prefix string) *Set {
+	out := NewSet()
+	p := prefix + "."
+	for k, v := range s.counters {
+		if strings.HasPrefix(k, p) {
+			out.counters[k[len(p):]] = v
+		}
+	}
+	for k, v := range s.scalars {
+		if strings.HasPrefix(k, p) {
+			out.scalars[k[len(p):]] = v
+		}
+	}
+	return out
+}
+
 // Delta returns end minus start for every counter (clamped at zero), the
 // standard way to measure a window after warmup. Scalars are copied from
 // end, since most are end-of-run summaries.

@@ -279,3 +279,42 @@ func TestSetJSONEmpty(t *testing.T) {
 		t.Error("empty-restored set unusable")
 	}
 }
+
+func TestMergePrefixedAndSub(t *testing.T) {
+	core := NewSet()
+	core.Add("core.committed", 100)
+	core.Add("l1.misses", 7)
+	core.SetScalar("core.ipc", 1.5)
+
+	all := NewSet()
+	all.MergePrefixed("c0", core)
+	all.MergePrefixed("c1", core)
+	all.Add("l3.bank_accesses", 9)
+
+	if got := all.Counter("c0.core.committed"); got != 100 {
+		t.Fatalf("c0.core.committed = %d", got)
+	}
+	if got := all.Counter("c1.l1.misses"); got != 7 {
+		t.Fatalf("c1.l1.misses = %d", got)
+	}
+	if got := all.Scalar("c1.core.ipc"); got != 1.5 {
+		t.Fatalf("c1.core.ipc = %v", got)
+	}
+
+	c0 := all.Sub("c0")
+	if got := c0.Counter("core.committed"); got != 100 {
+		t.Fatalf("Sub counter = %d", got)
+	}
+	if got := c0.Scalar("core.ipc"); got != 1.5 {
+		t.Fatalf("Sub scalar = %v", got)
+	}
+	// Shared counters and other cores' entries stay out.
+	if got := len(c0.Names()); got != 2 {
+		t.Fatalf("Sub leaked entries: %v", c0.Names())
+	}
+	// Prefix matching is segment-aware: "c0x.foo" must not land in "c0".
+	all.Add("c0x.foo", 1)
+	if got := all.Sub("c0").Counter("x.foo"); got != 0 {
+		t.Fatal("Sub matched a non-segment prefix")
+	}
+}

@@ -72,7 +72,9 @@ type Profile struct {
 	// warm accesses landing in the hottest WarmFrontKB; WarmMid the share
 	// in the next ~96KB; the rest spread over the whole region. Zeros
 	// select class defaults (integer working sets are more front-heavy
-	// than FP ones, matching Table III's Le2 columns).
+	// than FP ones, matching Table III's Le2 columns); a literal zero
+	// share is expressed with the SkewNone sentinel, since 0 is the
+	// "use class default" marker.
 	WarmFront, WarmMid float64
 	WarmFrontKB        int
 
@@ -84,6 +86,40 @@ type Profile struct {
 
 	// FPLat overrides the FP latency (0 = core default).
 	FPLat uint8
+}
+
+// SkewNone marks a warm-skew share as explicitly zero. A plain zero in
+// WarmFront/WarmMid means "use the class default" (the common case for
+// the catalog), so a profile that genuinely wants no front or mid skew
+// sets the field to SkewNone instead.
+const SkewNone = -1.0
+
+// warmSkew resolves the effective warm-region shares: class defaults for
+// zero fields, 0 for SkewNone, the explicit value otherwise. It is the
+// single source of truth shared by Validate and the generator.
+func (p Profile) warmSkew() (front, mid float64) {
+	front, mid = p.WarmFront, p.WarmMid
+	if front == 0 {
+		if p.Class == Int {
+			front = 0.78
+		} else {
+			front = 0.62
+		}
+	}
+	if mid == 0 {
+		if p.Class == Int {
+			mid = 0.17
+		} else {
+			mid = 0.28
+		}
+	}
+	if front == SkewNone {
+		front = 0
+	}
+	if mid == SkewNone {
+		mid = 0
+	}
+	return front, mid
 }
 
 // Validate reports profile inconsistencies.
@@ -101,6 +137,20 @@ func (p Profile) Validate() error {
 	if p.BranchSites <= 0 {
 		return fmt.Errorf("workload %s: no branch sites", p.Name)
 	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"WarmFront", p.WarmFront}, {"WarmMid", p.WarmMid}} {
+		if f.v != SkewNone && (f.v < 0 || f.v > 1) {
+			return fmt.Errorf("workload %s: %s %v outside [0,1] (use SkewNone for an explicit zero)", p.Name, f.name, f.v)
+		}
+	}
+	// An over-allocated skew would silently make the warm tail
+	// unreachable: every warm access would land in the front/mid zones
+	// and the region's nominal size would be a lie.
+	if front, mid := p.warmSkew(); front+mid > 1.0001 {
+		return fmt.Errorf("workload %s: warm skew front %v + mid %v exceeds 1", p.Name, front, mid)
+	}
 	return nil
 }
 
@@ -117,8 +167,9 @@ const (
 // Generator produces the op stream for a profile. It implements
 // cpu.Stream and is infinite; the core's instruction budget bounds runs.
 type Generator struct {
-	p   Profile
-	rng *sim.Rand
+	p    Profile
+	base mem.Addr // address-space offset (CMP mode: disjoint per core)
+	rng  *sim.Rand
 
 	seq          uint64
 	lastLoadDist int32 // ops since the previous load
@@ -134,6 +185,15 @@ type Generator struct {
 
 // NewGenerator builds a deterministic generator for p.
 func NewGenerator(p Profile, seed uint64) (*Generator, error) {
+	return NewGeneratorAt(p, seed, 0)
+}
+
+// NewGeneratorAt builds a generator whose whole address space is shifted
+// by base: the multi-programmed CMP mode gives every core a disjoint
+// address space (base = core index << 32) so private data never aliases
+// in the shared LLC, exactly like distinct processes behind distinct page
+// tables.
+func NewGeneratorAt(p Profile, seed uint64, base mem.Addr) (*Generator, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -141,21 +201,8 @@ func NewGenerator(p Profile, seed uint64) (*Generator, error) {
 	if p.WarmFrontKB == 0 {
 		p.WarmFrontKB = 20
 	}
-	if p.WarmFront == 0 {
-		if p.Class == Int {
-			p.WarmFront = 0.78
-		} else {
-			p.WarmFront = 0.62
-		}
-	}
-	if p.WarmMid == 0 {
-		if p.Class == Int {
-			p.WarmMid = 0.17
-		} else {
-			p.WarmMid = 0.28
-		}
-	}
-	g := &Generator{p: p, rng: sim.NewRand(seed ^ hashName(p.Name))}
+	p.WarmFront, p.WarmMid = p.warmSkew()
+	g := &Generator{p: p, base: base, rng: sim.NewRand(seed ^ hashName(p.Name))}
 	g.patterns = make([][]bool, p.BranchSites)
 	g.biases = make([]float64, p.BranchSites)
 	g.siteIdx = make([]uint32, p.BranchSites)
@@ -297,9 +344,16 @@ func (g *Generator) depDist() int32 {
 	return d
 }
 
-// address draws a memory address from the region mixture and reports the
-// zone it landed in.
+// address draws a memory address from the region mixture, shifted into
+// the generator's address space, and reports the zone it landed in.
 func (g *Generator) address() (mem.Addr, zone) {
+	a, z := g.rawAddress()
+	return a + g.base, z
+}
+
+// rawAddress draws from the region mixture in the canonical (base-0)
+// address space.
+func (g *Generator) rawAddress() (mem.Addr, zone) {
 	p := g.p
 	r := g.rng.Float64()
 	switch {

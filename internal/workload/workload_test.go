@@ -247,3 +247,96 @@ func TestGeneratorRejectsInvalidProfile(t *testing.T) {
 		t.Fatal("zero profile must be rejected")
 	}
 }
+
+// TestValidateWarmSkewOverallocation: WarmFront + WarmMid must leave room
+// for the warm tail, otherwise the region's nominal size is unreachable
+// (the over-allocation used to pass silently).
+func TestValidateWarmSkewOverallocation(t *testing.T) {
+	base, _ := ByName("403.gcc")
+
+	p := base
+	p.WarmFront, p.WarmMid = 0.8, 0.3
+	if err := p.Validate(); err == nil {
+		t.Fatal("front 0.8 + mid 0.3 > 1 accepted")
+	}
+	if _, err := NewGenerator(p, 1); err == nil {
+		t.Fatal("generator built from over-allocated skew")
+	}
+
+	// Explicit values that fit are fine.
+	p.WarmFront, p.WarmMid = 0.6, 0.4
+	if err := p.Validate(); err != nil {
+		t.Fatalf("front 0.6 + mid 0.4 rejected: %v", err)
+	}
+
+	// Shares outside [0,1] are rejected outright.
+	p.WarmFront, p.WarmMid = 1.5, 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("front 1.5 accepted")
+	}
+	p.WarmFront, p.WarmMid = -0.5, 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("front -0.5 accepted")
+	}
+}
+
+// TestValidateSkewNoneSentinel: a zero field means "class default", so an
+// explicit zero is spelled SkewNone — and the two produce different
+// generators.
+func TestValidateSkewNoneSentinel(t *testing.T) {
+	base, _ := ByName("403.gcc")
+
+	p := base
+	p.WarmFront, p.WarmMid = SkewNone, SkewNone
+	if err := p.Validate(); err != nil {
+		t.Fatalf("SkewNone rejected: %v", err)
+	}
+	front, mid := p.warmSkew()
+	if front != 0 || mid != 0 {
+		t.Fatalf("SkewNone resolved to %v/%v, want 0/0", front, mid)
+	}
+
+	// Class default resolution is unchanged for zero fields.
+	p = base
+	front, mid = p.warmSkew()
+	if front != 0.78 || mid != 0.17 {
+		t.Fatalf("int class defaults = %v/%v, want 0.78/0.17", front, mid)
+	}
+	fp, _ := ByName("470.lbm")
+	front, mid = fp.warmSkew()
+	if front != 0.62 || mid != 0.28 {
+		t.Fatalf("fp class defaults = %v/%v, want 0.62/0.28", front, mid)
+	}
+
+	// A SkewNone generator must actually reach the warm tail: with no
+	// front/mid skew every warm access is tail-distributed.
+	p = base
+	p.WarmFront, p.WarmMid = SkewNone, SkewNone
+	g, err := NewGenerator(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmB, warmKB := WarmRange(p)
+	frontB := mem.Addr(20 << 10) // default WarmFrontKB
+	var warm, deep uint64
+	for i := 0; i < 200_000; i++ {
+		op, _ := g.Next()
+		if op.Class != cpu.ClassLoad && op.Class != cpu.ClassStore {
+			continue
+		}
+		if op.Addr >= warmB && op.Addr < warmB+mem.Addr(warmKB<<10) {
+			warm++
+			if op.Addr >= warmB+frontB {
+				deep++
+			}
+		}
+	}
+	if warm == 0 {
+		t.Fatal("no warm accesses observed")
+	}
+	// Uniform tail: the share beyond the 20KB front should be roughly
+	// (warmKB-20)/warmKB; with skew defaults it would be ~20%.
+	if ratio := float64(deep) / float64(warm); ratio < 0.5 {
+		t.Fatalf("tail share %.2f too small — SkewNone not honored", ratio)
+	}
+}
