@@ -1,0 +1,313 @@
+package lightnuca
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/orchestrator"
+)
+
+// Client is the HTTP Runner: it submits Requests to a running lnucad
+// service and polls them to completion. Because the service decodes the
+// same lnuca-run-v1 schema the Client marshals, a Request submitted here
+// resolves to exactly the content key a Local runner computes, and the
+// two share the service's result cache.
+//
+// Beyond Runner, Client exposes the full job lifecycle (Submit / Job /
+// Cancel / Wait with streaming progress), sweep fan-out (SubmitSweep /
+// WaitSweep), direct cache lookups, and the service's catalog and
+// metrics endpoints.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://localhost:8347".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval spaces Wait's status polls (default 50ms).
+	PollInterval time.Duration
+}
+
+// NewClient returns a Client for a lnucad address; a bare "host:port"
+// is promoted to "http://host:port".
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{BaseURL: strings.TrimSuffix(addr, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) pollInterval() time.Duration {
+	if c.PollInterval > 0 {
+		return c.PollInterval
+	}
+	return 50 * time.Millisecond
+}
+
+// do runs one JSON round trip. A non-2xx status decodes the service's
+// {"error": ...} envelope into the returned error.
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("lightnuca: marshal %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("lightnuca: %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("lightnuca: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return &APIError{Status: resp.StatusCode, Message: e.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("lightnuca: decode %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// APIError is a non-2xx service response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("lightnuca: lnucad returned %d: %s", e.Status, e.Message)
+}
+
+// Health checks GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the service's operational counters.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	var m Metrics
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	return m, err
+}
+
+// Benchmarks fetches the workload catalog and the named mixes the
+// service accepts.
+func (c *Client) Benchmarks(ctx context.Context) (benchmarks, mixes []string, err error) {
+	var out struct {
+		Benchmarks []string `json:"benchmarks"`
+		Mixes      []string `json:"mixes"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/benchmarks", nil, &out); err != nil {
+		return nil, nil, err
+	}
+	return out.Benchmarks, out.Mixes, nil
+}
+
+// Submit posts one Request and returns its record immediately — Status
+// is StatusDone when the service answered from its result cache.
+func (c *Client) Submit(ctx context.Context, req Request) (JobRecord, error) {
+	var rec JobRecord
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &rec)
+	return rec, err
+}
+
+// Job polls one submitted run by ID.
+func (c *Client) Job(ctx context.Context, id string) (JobRecord, error) {
+	var rec JobRecord
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &rec)
+	return rec, err
+}
+
+// Cancel aborts a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobRecord, error) {
+	var rec JobRecord
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &rec)
+	return rec, err
+}
+
+// Wait polls a job until it reaches a terminal state, streaming every
+// intermediate snapshot (with its Progress fraction) to onUpdate when
+// non-nil. It returns the terminal record, or the context's error.
+func (c *Client) Wait(ctx context.Context, id string, onUpdate func(JobRecord)) (JobRecord, error) {
+	ticker := time.NewTicker(c.pollInterval())
+	defer ticker.Stop()
+	for {
+		rec, err := c.Job(ctx, id)
+		if err != nil {
+			return JobRecord{}, err
+		}
+		if onUpdate != nil {
+			onUpdate(rec)
+		}
+		if rec.Status.Terminal() {
+			return rec, nil
+		}
+		select {
+		case <-ctx.Done():
+			return rec, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Run implements Runner: Submit then Wait, converting the terminal
+// record. A failed or canceled job is an error.
+func (c *Client) Run(ctx context.Context, req Request) (Result, error) {
+	rec, err := c.Submit(ctx, req)
+	if err != nil {
+		return Result{}, err
+	}
+	if !rec.Status.Terminal() {
+		if rec, err = c.Wait(ctx, rec.ID, nil); err != nil {
+			return Result{}, err
+		}
+	}
+	return resultOfRecord(rec)
+}
+
+// Lookup consults the service's result cache by request content without
+// enqueuing work: (result, true, nil) on a hit, (zero, false, nil) on a
+// clean miss.
+func (c *Client) Lookup(ctx context.Context, req Request) (Result, bool, error) {
+	key, err := req.Key()
+	if err != nil {
+		return Result{}, false, err
+	}
+	q := url.Values{}
+	set := func(k, v string) {
+		if v != "" {
+			q.Set(k, v)
+		}
+	}
+	set("hierarchy", req.Hierarchy)
+	set("benchmark", req.Benchmark)
+	set("mix", req.Mix)
+	set("mode", req.Mode)
+	if req.Levels != 0 {
+		q.Set("levels", strconv.Itoa(req.Levels))
+	}
+	if req.Cores != 0 {
+		q.Set("cores", strconv.Itoa(req.Cores))
+	}
+	if req.Warmup != 0 {
+		q.Set("warmup", strconv.FormatUint(req.Warmup, 10))
+	}
+	if req.Measure != 0 {
+		q.Set("measure", strconv.FormatUint(req.Measure, 10))
+	}
+	if req.Seed != 0 {
+		q.Set("seed", strconv.FormatUint(req.Seed, 10))
+	}
+	var res orchestrator.JobResult
+	err = c.do(ctx, http.MethodGet, "/v1/results?"+q.Encode(), nil, &res)
+	if apiErr, ok := err.(*APIError); ok && apiErr.Status == http.StatusNotFound {
+		return Result{}, false, nil
+	}
+	if err != nil {
+		return Result{}, false, err
+	}
+	return resultFrom(key, &res, true), true, nil
+}
+
+// SweepSubmission is the service's answer to a sweep: its ID plus the
+// per-cell records.
+type SweepSubmission struct {
+	ID   string      `json:"id"`
+	Jobs []JobRecord `json:"jobs"`
+}
+
+// SubmitSweep fans a Sweep out on the service: one job per matrix cell,
+// deduplicated and cache-served exactly as individual Submits would be.
+func (c *Client) SubmitSweep(ctx context.Context, sweep Sweep) (SweepSubmission, error) {
+	var sub SweepSubmission
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", sweep, &sub)
+	return sub, err
+}
+
+// Sweep polls a sweep's aggregated status.
+func (c *Client) Sweep(ctx context.Context, id string) (SweepStatus, error) {
+	var st SweepStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// WaitSweep polls a sweep until every cell is terminal, streaming each
+// aggregated snapshot to onUpdate when non-nil.
+func (c *Client) WaitSweep(ctx context.Context, id string, onUpdate func(SweepStatus)) (SweepStatus, error) {
+	ticker := time.NewTicker(c.pollInterval())
+	defer ticker.Stop()
+	for {
+		st, err := c.Sweep(ctx, id)
+		if err != nil {
+			return SweepStatus{}, err
+		}
+		if onUpdate != nil {
+			onUpdate(st)
+		}
+		if st.Done {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// RunSweep submits a sweep and waits it to completion.
+func (c *Client) RunSweep(ctx context.Context, sweep Sweep, onUpdate func(SweepStatus)) (SweepStatus, error) {
+	sub, err := c.SubmitSweep(ctx, sweep)
+	if err != nil {
+		return SweepStatus{}, err
+	}
+	return c.WaitSweep(ctx, sub.ID, onUpdate)
+}
+
+// resultOfRecord converts a terminal job record into a Result.
+func resultOfRecord(rec JobRecord) (Result, error) {
+	switch rec.Status {
+	case StatusDone:
+		if rec.Result == nil {
+			return Result{}, fmt.Errorf("lightnuca: job %s done without a result", rec.ID)
+		}
+		return resultFrom(rec.Key, rec.Result, rec.Cached), nil
+	case StatusFailed:
+		return Result{}, fmt.Errorf("lightnuca: job %s failed: %s", rec.ID, rec.Error)
+	case StatusCanceled:
+		return Result{}, fmt.Errorf("lightnuca: job %s canceled", rec.ID)
+	default:
+		return Result{}, fmt.Errorf("lightnuca: job %s not terminal (status %s)", rec.ID, rec.Status)
+	}
+}

@@ -1,12 +1,17 @@
 // Command lnucad is the long-running experiment orchestration service: a
 // bounded simulation worker pool, a content-addressed result cache, and
 // the HTTP JSON API (POST /v1/jobs, POST /v1/sweeps, GET /metrics, ...)
-// that front-ends submit Light NUCA experiments through.
+// that front-ends submit Light NUCA experiments through. POST bodies are
+// the declarative lnuca-run-v1 Request schema — exactly what
+// lightnuca.Client marshals and the CLIs build from flags — so a run
+// submitted over HTTP has the same content key as the same run executed
+// in process.
 //
 //	lnucad -addr :8347 -workers 8 -cache /var/lib/lnuca/results
 //
-// With -cache, results persist across restarts and are shared with
-// lnucasweep's -cache flag: any run computed once is never recomputed.
+// With -cache, results persist across restarts and are shared with the
+// -cache flags of lnucasweep/lnucasim and with lightnuca.Local: any run
+// computed once is never recomputed.
 package main
 
 import (
@@ -41,8 +46,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("lnucad: serving on %s (%d workers, cache %s)\n",
-		*addr, *workers, cacheLabel(*cacheDir))
+	fmt.Printf("lnucad: serving on %s (%d workers, cache %s, request schema %s)\n",
+		*addr, *workers, cacheLabel(*cacheDir), orchestrator.RequestSchema)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -24,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	lightnuca "repro"
 	"repro/internal/exp"
 	"repro/internal/orchestrator"
 	"repro/internal/workload"
@@ -39,6 +40,7 @@ func main() {
 		mixFlag    = flag.String("mix", "mixed", "CMP workload mix: a named mix ("+strings.Join(workload.MixNames(), "|")+"), 'random', or a comma list of benchmarks")
 		hierFlag   = flag.String("hier", "ln+l3", "CMP hierarchy: conventional, ln+l3, dn-4x8, or ln+dn-4x8")
 		levelsFlag = flag.Int("levels", 3, "L-NUCA levels for CMP L-NUCA hierarchies (2..6)")
+		cacheFlag  = flag.String("cache", "", "result cache directory shared with lnucad/lnucasweep (CMP mode)")
 	)
 	flag.Parse()
 
@@ -50,10 +52,18 @@ func main() {
 	}
 
 	if *coresFlag > 0 {
-		if *coresFlag < 2 || *coresFlag > 8 {
-			fatalf("-cores wants 2..8, got %d", *coresFlag)
-		}
-		runCMPMix(*coresFlag, *mixFlag, *hierFlag, *levelsFlag, mode, *seedFlag)
+		// CMP mode: the flags assemble the one declarative run schema
+		// (lnuca-run-v1) shared with the library and the lnucad HTTP
+		// API, so this run's content key — and cached result — is the
+		// same whichever front-end computes it.
+		runCMPMix(lightnuca.Request{
+			Hierarchy: *hierFlag,
+			Levels:    *levelsFlag,
+			Cores:     *coresFlag,
+			Mix:       *mixFlag,
+			Mode:      *modeFlag,
+			Seed:      *seedFlag,
+		}, *cacheFlag)
 		return
 	}
 
@@ -130,45 +140,65 @@ func main() {
 	}
 }
 
-// runCMPMix executes one multi-programmed mix and prints the per-core
-// report plus the multi-programmed aggregates.
-func runCMPMix(cores int, mix, hierName string, levels int, mode exp.Mode, seed uint64) {
-	kind, err := orchestrator.ParseKind(hierName)
+// runCMPMix executes one multi-programmed run described by the
+// declarative request and prints the per-core report plus the
+// multi-programmed aggregates. The runner memoizes in the same
+// content-addressed store the service uses, so the single-core
+// baselines the mix run computes internally are read back as cache
+// hits for the "alone IPC" column.
+func runCMPMix(req lightnuca.Request, cacheDir string) {
+	ctx := context.Background()
+	runner := &lightnuca.Local{CacheDir: cacheDir}
+	nreq, err := req.Normalize()
 	if err != nil {
 		fatalf("%v", err)
 	}
-	benchmarks, err := workload.ResolveMix(mix, cores, seed)
+	fmt.Printf("running %d-core %s mix %q (%s mode, seed %d)...\n",
+		nreq.Cores, nreq.Hierarchy, nreq.Mix, nreq.Mode, nreq.Seed)
+	res, err := runner.Run(ctx, req)
 	if err != nil {
-		fatalf("%v", err)
-	}
-	spec := exp.MixSpec{Kind: kind, Levels: levels, Benchmarks: benchmarks}
-	fmt.Printf("running %s mix [%s] (%s mode, seed %d)...\n",
-		spec.Label(), strings.Join(benchmarks, ", "), mode.Name, seed)
-	r := exp.RunMix(spec, mode, seed)
-	if r.Err != nil {
-		fatalf("mix failed: %v", r.Err)
+		fatalf("mix failed: %v", err)
 	}
 
-	// Single-core baselines for the weighted-speedup column, one run per
-	// distinct benchmark.
-	baseline, err := exp.Baselines(context.Background(), exp.Spec{Kind: kind, Levels: levels}, benchmarks, mode, seed)
-	if err != nil {
-		fatalf("%v", err)
+	// The mix run resolved its weighted-speedup baselines through the
+	// runner's cache; re-request them for the per-core table.
+	baseline := make(map[string]float64, res.Cores)
+	for _, c := range res.PerCore {
+		if _, done := baseline[c.Benchmark]; done {
+			continue
+		}
+		single := req
+		single.Cores, single.Mix, single.Benchmark = 0, "", c.Benchmark
+		b, err := runner.Run(ctx, single)
+		if err != nil {
+			fatalf("baseline %s: %v", c.Benchmark, err)
+		}
+		baseline[c.Benchmark] = b.IPC
 	}
 
-	fmt.Println(exp.MixTable(r, baseline))
-	ws, err := exp.WeightedSpeedup(r.PerCore, baseline)
+	kind, err := orchestrator.ParseKind(nreq.Hierarchy)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("aggregate throughput: %.3f IPC over %d cycles\n", r.Throughput, r.Cycles)
-	fmt.Printf("weighted speedup:     %.3f (of %d ideal)\n", ws, cores)
+	benchmarks := make([]string, len(res.PerCore))
+	for i, c := range res.PerCore {
+		benchmarks[i] = c.Benchmark
+	}
+	fmt.Println(exp.MixTable(exp.MixResult{
+		Spec:       exp.MixSpec{Kind: kind, Levels: nreq.Levels, Benchmarks: benchmarks},
+		Cycles:     res.Cycles,
+		PerCore:    res.PerCore,
+		Throughput: res.ThroughputIPC,
+	}, baseline))
+	fmt.Printf("aggregate throughput: %.3f IPC over %d cycles\n", res.ThroughputIPC, res.Cycles)
+	fmt.Printf("weighted speedup:     %.3f (of %d ideal)\n", res.WeightedSpeedup, res.Cores)
 	var grants, conflicts uint64
-	for i := 0; i < cores; i++ {
-		grants += r.Stats.Counter(fmt.Sprintf("arb.grants.c%d", i))
-		conflicts += r.Stats.Counter(fmt.Sprintf("arb.conflicts.c%d", i))
+	for i := 0; i < res.Cores; i++ {
+		grants += res.Stats.Counter(fmt.Sprintf("arb.grants.c%d", i))
+		conflicts += res.Stats.Counter(fmt.Sprintf("arb.conflicts.c%d", i))
 	}
 	fmt.Printf("shared-LLC arbiter:   %d grants, %d conflict cycles\n", grants, conflicts)
+	fmt.Printf("content key:          %s\n", res.Key)
 }
 
 func fatalf(format string, args ...interface{}) {

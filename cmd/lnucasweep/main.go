@@ -12,18 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/exp"
-	"repro/internal/hier"
+	lightnuca "repro"
 	"repro/internal/lnuca"
 	"repro/internal/mem"
-	"repro/internal/orchestrator"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 var benchNames = []string{"403.gcc", "429.mcf", "482.sphinx3", "434.zeusmp"}
@@ -177,38 +175,29 @@ func (d *driver) Commit(k *sim.Kernel) {
 
 // sweepLevels runs full systems over 2..6 levels, reproducing the
 // diminishing-returns claim ("performance increments do not pay off
-// beyond 4 levels"). Runs are memoized in the orchestrator's
-// content-addressed cache; with -cache the store persists on disk and is
-// shared with lnucad.
+// beyond 4 levels"). Each cell is a declarative lnuca-run-v1 Request
+// built from the flags — the same schema the library and lnucad accept,
+// keyed identically — executed through a Local runner; with -cache the
+// content-addressed store persists on disk and is shared with lnucad.
 func sweepLevels(instr uint64, cacheDir string) {
-	cache := orchestrator.NewCache(0, cacheDir)
-	mode := exp.Mode{Name: "sweep", Measure: instr}
+	ctx := context.Background()
+	runner := &lightnuca.Local{CacheDir: cacheDir}
 	t := stats.NewTable("ablation: L-NUCA levels (full system, subset of benchmarks)",
 		"levels", "capacity KB", "IPC hmean", "gain % vs 2 levels")
 	base := 0.0
 	for levels := 2; levels <= 6; levels++ {
 		var ipcs []float64
 		for _, name := range benchNames {
-			job, err := orchestrator.Job{
-				Kind: hier.LNUCAL3, Levels: levels,
-				Benchmark: name, Mode: mode, Seed: 1,
-			}.Normalize()
+			res, err := runner.Run(ctx, lightnuca.Request{
+				Hierarchy: "ln+l3",
+				Levels:    levels,
+				Benchmark: name,
+				Measure:   instr,
+				Seed:      1,
+			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "lnucasweep:", err)
 				os.Exit(1)
-			}
-			res, ok := cache.Get(job.Key())
-			if !ok {
-				prof, _ := workload.ByName(name)
-				// Run with the normalized mode so the computation always
-				// matches the content key it is stored under.
-				r := exp.RunOne(job.Spec(), prof, job.Mode, job.Seed)
-				if r.Err != nil {
-					fmt.Fprintln(os.Stderr, "lnucasweep:", r.Err)
-					os.Exit(1)
-				}
-				res = orchestrator.ResultOf(r)
-				cache.Put(job.Key(), res)
 			}
 			ipcs = append(ipcs, res.IPC)
 		}
@@ -221,7 +210,7 @@ func sweepLevels(instr uint64, cacheDir string) {
 	}
 	fmt.Println(t)
 	if cacheDir != "" {
-		fmt.Printf("result cache: %d hits, %d misses (%s)\n",
-			cache.Hits(), cache.Misses(), cacheDir)
+		hits, misses := runner.CacheStats()
+		fmt.Printf("result cache: %d hits, %d misses (%s)\n", hits, misses, cacheDir)
 	}
 }

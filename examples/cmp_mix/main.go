@@ -6,9 +6,10 @@
 //     simulation is deterministic (identical per-core stats);
 //  3. compute the single-core baselines and report per-core slowdown,
 //     aggregate throughput and weighted speedup;
-//  4. submit the identical mix to an in-process orchestrator twice and
-//     show the resubmission (and the baselines inside the mix run) are
-//     served 100% from the content-addressed result cache.
+//  4. run the identical mix as one declarative lightnuca.Request
+//     through the public Local runner — twice — and show the rerun (and
+//     the baselines inside the mix run) are served 100% from the
+//     content-addressed result cache.
 //
 // Run it with:
 //
@@ -22,8 +23,8 @@ import (
 	"os"
 	"reflect"
 	"strings"
-	"time"
 
+	lightnuca "repro"
 	"repro/internal/exp"
 	"repro/internal/orchestrator"
 	"repro/internal/workload"
@@ -79,43 +80,31 @@ func main() {
 	fmt.Printf("aggregate throughput: %.3f IPC\n", r1.Throughput)
 	fmt.Printf("weighted speedup:     %.3f of %d ideal — the gap is LLC + memory-channel contention\n\n", ws, *cores)
 
-	// 4. The orchestration layer memoizes the whole thing: the first
-	// submission simulates (mix + baselines, each baseline cached under
-	// its own single-core key); the identical resubmission never touches
-	// the simulator.
-	orch := orchestrator.New(orchestrator.Config{Workers: 2})
-	defer orch.Close()
-
-	job := orchestrator.Job{Kind: kind, Cores: *cores, Mix: *mix, Mode: exp.Quick, Seed: *seed}
-	rec, err := orch.Submit(job)
+	// 4. The same mix as one declarative lnuca-run-v1 Request through
+	// the public Runner API: the first run simulates (mix + baselines,
+	// each baseline memoized under its own single-core content key);
+	// the identical rerun is served from the content-addressed cache
+	// without touching the simulator. Submitting this Request to a
+	// lnucad service instead (lightnuca.NewClient) yields the very same
+	// key, so the two share results.
+	runner := &lightnuca.Local{}
+	req := lightnuca.Request{Hierarchy: *hier, Cores: *cores, Mix: *mix, Mode: "quick", Seed: *seed}
+	res1, err := runner.Run(context.Background(), req)
 	if err != nil {
-		fail("submit: %v", err)
+		fail("runner: %v", err)
 	}
-	for {
-		time.Sleep(time.Millisecond)
-		cur, ok := orch.Get(rec.ID)
-		if !ok {
-			fail("job %s vanished", rec.ID)
-		}
-		if cur.Status.Terminal() {
-			if cur.Status != orchestrator.StatusDone {
-				fail("job failed: %s", cur.Error)
-			}
-			fmt.Printf("orchestrator run: weighted speedup %.3f, throughput %.3f IPC\n",
-				cur.Result.WeightedSpeedup, cur.Result.ThroughputIPC)
-			break
-		}
-	}
+	fmt.Printf("runner result: weighted speedup %.3f, throughput %.3f IPC (key %.12s...)\n",
+		res1.WeightedSpeedup, res1.ThroughputIPC, res1.Key)
 
-	rec2, err := orch.Submit(job)
+	res2, err := runner.Run(context.Background(), req)
 	if err != nil {
-		fail("resubmit: %v", err)
+		fail("rerun: %v", err)
 	}
-	if !rec2.Cached {
+	if !res2.Cached {
 		fail("resubmission was not served from the cache")
 	}
-	m := orch.Metrics()
-	fmt.Printf("identical resubmission: served from cache (no new simulation; %d runs executed total)\n", m.Executed)
+	hits, _ := runner.CacheStats()
+	fmt.Printf("identical resubmission: served from cache (no new simulation; %d cache hits)\n", hits)
 }
 
 func fail(format string, args ...interface{}) {

@@ -1,8 +1,11 @@
-// Quickstart: build an L-NUCA hierarchy, run one synthetic SPEC-like
-// workload, and print the headline statistics.
+// Quickstart: declare one run as a lightnuca.Request, execute it with
+// the in-process Local runner, and print the headline statistics. The
+// same Request, unchanged, could be submitted to a lnucad service via
+// lightnuca.NewClient(addr).Run — identical content key, shared cache.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,15 +13,18 @@ import (
 )
 
 func main() {
-	res, err := lightnuca.Run(lightnuca.LNUCAPlusL3, "482.sphinx3", lightnuca.Options{
-		Levels: 3,
-		Seed:   1,
+	runner := &lightnuca.Local{}
+	res, err := runner.Run(context.Background(), lightnuca.Request{
+		Hierarchy: "ln+l3",
+		Benchmark: "482.sphinx3",
+		Levels:    3,
+		Seed:      1,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%s running %s\n", res.Config, res.Benchmark)
+	fmt.Printf("%s running %s (key %.12s...)\n", res.Config, res.Benchmark, res.Key)
 	fmt.Printf("  IPC:               %.3f over %d cycles\n", res.IPC, res.Cycles)
 	fmt.Printf("  r-tile read hits:  %d (misses %d)\n",
 		res.Stats.Counter("ln.rt_read_hits"), res.Stats.Counter("ln.rt_read_misses"))

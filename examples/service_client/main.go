@@ -1,9 +1,9 @@
 // Example service_client drives the lnucad orchestration service
-// end-to-end: it submits a sweep over three hierarchies x four
-// benchmarks through the HTTP API, polls it to completion, then
-// resubmits the identical sweep and shows — via the /metrics cache
-// hit-rate — that the second pass is served entirely from the
-// content-addressed result cache without re-simulating.
+// end-to-end through the public lightnuca.Client: it submits a sweep
+// over three hierarchies x four benchmarks as one declarative Sweep,
+// streams its progress to completion, then resubmits the identical
+// sweep and asserts the second pass is served 100% from the
+// content-addressed result cache — zero additional simulations.
 //
 // By default it spins up an in-process server on a loopback port, so it
 // is self-contained; point -addr at a running lnucad to exercise a real
@@ -13,8 +13,7 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -22,15 +21,17 @@ import (
 	"os"
 	"time"
 
+	lightnuca "repro"
 	"repro/internal/orchestrator"
 )
 
 func main() {
 	addr := flag.String("addr", "", "lnucad address (empty = start an in-process server)")
 	flag.Parse()
+	ctx := context.Background()
 
-	base := "http://" + *addr
-	if *addr == "" {
+	target := *addr
+	if target == "" {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fail("listen: %v", err)
@@ -38,34 +39,49 @@ func main() {
 		orch := orchestrator.New(orchestrator.Config{Workers: 4})
 		defer orch.Close()
 		go func() { _ = http.Serve(ln, orchestrator.NewServer(orch)) }()
-		base = "http://" + ln.Addr().String()
-		fmt.Printf("started in-process lnucad on %s\n", ln.Addr())
+		target = ln.Addr().String()
+		fmt.Printf("started in-process lnucad on %s\n", target)
 	}
 
-	var health map[string]string
-	mustGet(base+"/healthz", &health)
-	fmt.Printf("healthz: %s\n\n", health["status"])
+	client := lightnuca.NewClient(target)
+	if err := client.Health(ctx); err != nil {
+		fail("healthz: %v", err)
+	}
+	fmt.Println("healthz: ok")
 
-	sweep := map[string]interface{}{
-		"hierarchies": []string{"conventional", "ln+l3", "dn-4x8"},
-		"levels":      []int{3},
-		"benchmarks":  []string{"403.gcc", "429.mcf", "434.zeusmp", "482.sphinx3"},
-		"mode":        "quick",
-		"seed":        1,
+	// One cell submitted as a single declarative request first: the
+	// same schema the sweep fans out, so the sweep below reuses it.
+	res, err := client.Run(ctx, lightnuca.Request{
+		Hierarchy: "ln+l3", Benchmark: "403.gcc", Mode: "quick", Seed: 1,
+	})
+	if err != nil {
+		fail("single run: %v", err)
+	}
+	fmt.Printf("\nsingle request: %s %s IPC %.3f (key %.12s...)\n\n",
+		res.Config, res.Benchmark, res.IPC, res.Key)
+
+	sweep := lightnuca.Sweep{
+		Hierarchies: []string{"conventional", "ln+l3", "dn-4x8"},
+		Levels:      []int{3},
+		Benchmarks:  []string{"403.gcc", "429.mcf", "434.zeusmp", "482.sphinx3"},
+		Mode:        "quick",
+		Seed:        1,
 	}
 
 	fmt.Println("pass 1: submitting 3 hierarchies x 4 benchmarks (cold cache)")
 	t0 := time.Now()
-	runSweep(base, sweep)
+	runSweep(ctx, client, sweep, false)
 	cold := time.Since(t0)
 
-	fmt.Println("\npass 2: resubmitting the identical sweep (warm cache)")
+	fmt.Println("\npass 2: resubmitting the identical sweep (must be 100% cache)")
 	t1 := time.Now()
-	runSweep(base, sweep)
+	runSweep(ctx, client, sweep, true)
 	warm := time.Since(t1)
 
-	var m orchestrator.Metrics
-	mustGet(base+"/metrics", &m)
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		fail("metrics: %v", err)
+	}
 	fmt.Printf("\n/metrics after both passes:\n")
 	fmt.Printf("  runs executed     %d (12 cells, simulated once each)\n", m.Executed)
 	fmt.Printf("  cache hits        %d\n", m.CacheHits)
@@ -78,32 +94,24 @@ func main() {
 	}
 }
 
-// runSweep posts one sweep, polls until every job is terminal, and
-// prints the per-cell IPC table.
-func runSweep(base string, sweep map[string]interface{}) {
-	body, _ := json.Marshal(sweep)
-	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
-	if err != nil {
-		fail("POST /v1/sweeps: %v", err)
-	}
-	var submitted struct {
-		ID   string                   `json:"id"`
-		Jobs []orchestrator.JobRecord `json:"jobs"`
-	}
-	decode(resp, &submitted)
-	fmt.Printf("  sweep %s: %d jobs\n", submitted.ID, len(submitted.Jobs))
-
-	var st orchestrator.SweepStatus
-	for {
-		mustGet(base+"/v1/sweeps/"+submitted.ID, &st)
-		if st.Done {
-			break
+// runSweep submits one sweep through the client, streams progress until
+// every cell is terminal, and prints the per-cell IPC table. With
+// requireCached it asserts every cell was served from the result cache.
+func runSweep(ctx context.Context, client *lightnuca.Client, sweep lightnuca.Sweep, requireCached bool) {
+	lastDone := -1
+	st, err := client.RunSweep(ctx, sweep, func(st lightnuca.SweepStatus) {
+		done := st.ByState[lightnuca.StatusDone]
+		if done != lastDone {
+			fmt.Printf("  progress: %d/%d cells done\n", done, st.Total)
+			lastDone = done
 		}
-		time.Sleep(50 * time.Millisecond)
+	})
+	if err != nil {
+		fail("sweep: %v", err)
 	}
 	cached := 0
 	for _, j := range st.Jobs {
-		if j.Status != orchestrator.StatusDone {
+		if j.Status != lightnuca.StatusDone {
 			fail("job %s: %s %s", j.ID, j.Status, j.Error)
 		}
 		if j.Cached {
@@ -113,6 +121,9 @@ func runSweep(base string, sweep map[string]interface{}) {
 			j.Result.Config, j.Result.Benchmark, j.Result.IPC, tag(j.Cached))
 	}
 	fmt.Printf("  done: %d/%d cells served from cache\n", cached, st.Total)
+	if requireCached && cached != st.Total {
+		fail("resubmitted sweep only %d/%d cached — the content keys diverged", cached, st.Total)
+	}
 }
 
 func tag(cached bool) string {
@@ -120,26 +131,6 @@ func tag(cached bool) string {
 		return "[cache hit]"
 	}
 	return "[simulated]"
-}
-
-func mustGet(url string, dst interface{}) {
-	resp, err := http.Get(url)
-	if err != nil {
-		fail("GET %s: %v", url, err)
-	}
-	decode(resp, dst)
-}
-
-func decode(resp *http.Response, dst interface{}) {
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		var e map[string]string
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		fail("%s: %s", resp.Status, e["error"])
-	}
-	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
-		fail("decode: %v", err)
-	}
 }
 
 func fail(format string, args ...interface{}) {

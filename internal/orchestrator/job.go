@@ -1,8 +1,10 @@
 // Package orchestrator is the experiment orchestration layer between the
-// simulation kernel and the front-ends: a job model with a canonical
-// content-addressed key, a memoizing result cache (in-memory LRU plus an
-// optional JSON file store), a bounded priority worker pool with
-// cancellation and progress, and the HTTP JSON API served by cmd/lnucad.
+// simulation kernel and the front-ends: the declarative run schema
+// (Request, lnuca-run-v1) that the library, the CLIs and the HTTP API
+// all parse into, a job model with a canonical content-addressed key,
+// a memoizing result cache (in-memory LRU plus an optional JSON file
+// store), a bounded priority worker pool with cancellation and
+// progress, and the HTTP JSON API served by cmd/lnucad.
 //
 // The design premise (shared with Sniper-style NUCA studies and
 // GPU-scale NOC simulation work) is that at scale the bottleneck is
@@ -25,8 +27,9 @@ import (
 
 // Job names one simulation: a hierarchy, its L-NUCA depth where
 // applicable, a benchmark (or, in CMP mode, a core count and a workload
-// mix), a run mode, and a seed. Two Jobs with the same canonical Key are
-// the same computation and share one result.
+// mix), a run mode, and a seed. It is the normalized form of a Request —
+// every front-end parses into it via Request.Job — and two Jobs with the
+// same canonical Key are the same computation and share one result.
 type Job struct {
 	Kind      hier.Kind `json:"-"`
 	Hierarchy string    `json:"hierarchy"` // paper-style name, set by Normalize
@@ -106,7 +109,8 @@ func (j Job) Normalize() (Job, error) {
 		j.Mode = exp.Quick
 	}
 	if j.Mode.Measure == 0 {
-		return j, fmt.Errorf("orchestrator: mode %q has an empty measured window", j.Mode.Name)
+		return j, fmt.Errorf("orchestrator: mode %q specifies warmup %d with an empty measured window — a half-specified window would silently measure nothing",
+			j.Mode.Name, j.Mode.Warmup)
 	}
 	if j.IsMix() {
 		j.Hierarchy = j.MixSpec().Label()

@@ -1,0 +1,235 @@
+package orchestrator
+
+// Request is the one declarative, versioned description of a run that
+// every entry path shares: the lightnuca library (Runner.Run), the CLIs
+// (flags parse into a Request), and the lnucad HTTP API (POST /v1/jobs
+// decodes a Request verbatim). A Request is pure data — strings and
+// numbers, JSON-marshalable — and Job is its normalization: whatever
+// path a logical run arrives through, it parses into the same Job and
+// therefore the same lnuca-job-v2 content key, so all front-ends share
+// one result cache.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/exp"
+	"repro/internal/hier"
+	"repro/internal/workload"
+)
+
+// RequestSchema versions the declarative run schema. Decoders accept an
+// empty Schema (v1 is the only version); any other value is rejected so
+// a future v2 consumer never silently misreads v1 producers or vice
+// versa.
+const RequestSchema = "lnuca-run-v1"
+
+// Request declares one run. The zero value of every optional field
+// selects the documented default; only Hierarchy plus either Benchmark
+// or Cores+Mix are required.
+type Request struct {
+	// Schema is the request schema version; empty means RequestSchema.
+	Schema string `json:"schema,omitempty"`
+	// Hierarchy is one of the Fig. 1 organizations by paper label or
+	// alias: "conventional", "ln+l3", "dn-4x8", "ln+dn-4x8".
+	Hierarchy string `json:"hierarchy"`
+	// Levels is the L-NUCA depth (2..6) where the hierarchy has one;
+	// 0 defaults to 3.
+	Levels int `json:"levels,omitempty"`
+	// Benchmark names one catalog workload (single-core runs).
+	Benchmark string `json:"benchmark,omitempty"`
+	// Cores > 1 selects the multi-programmed CMP mode over the shared
+	// LLC; Mix then replaces Benchmark.
+	Cores int `json:"cores,omitempty"`
+	// Mix is a named pool ("int", "fp", "mixed", "memory", "compute"),
+	// "random" for a seeded draw, or an explicit comma-separated list.
+	Mix string `json:"mix,omitempty"`
+	// Mode names the simulation window ("quick" or "full"; empty means
+	// quick). Explicit Warmup/Measure windows override it.
+	Mode    string `json:"mode,omitempty"`
+	Warmup  uint64 `json:"warmup,omitempty"`
+	Measure uint64 `json:"measure,omitempty"`
+	// Seed fixes all randomness, including "random" mix draws (0 = 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Priority orders the service queue; it is not part of the content
+	// key.
+	Priority int `json:"priority,omitempty"`
+}
+
+// parse maps a Request onto the un-normalized job model: schema check,
+// hierarchy and mode name resolution, window overrides. Validation that
+// needs the workload catalog (benchmarks, mixes) happens in
+// Job.Normalize.
+func (r Request) parse() (Job, error) {
+	if r.Schema != "" && r.Schema != RequestSchema {
+		return Job{}, fmt.Errorf("orchestrator: unsupported request schema %q (want %q)", r.Schema, RequestSchema)
+	}
+	kind, err := ParseKind(r.Hierarchy)
+	if err != nil {
+		return Job{}, err
+	}
+	mode, err := ParseMode(r.Mode)
+	if err != nil {
+		return Job{}, err
+	}
+	if r.Warmup != 0 || r.Measure != 0 {
+		mode = exp.Mode{Name: "custom", Warmup: r.Warmup, Measure: r.Measure}
+	}
+	return Job{
+		Kind:      kind,
+		Levels:    r.Levels,
+		Benchmark: r.Benchmark,
+		Cores:     r.Cores,
+		Mix:       r.Mix,
+		Mode:      mode,
+		Seed:      r.Seed,
+		Priority:  r.Priority,
+	}, nil
+}
+
+// Job parses and normalizes the request into the canonical job the
+// orchestrator executes and keys. Every front-end funnels through this
+// one path, which is what makes keys entry-point independent.
+func (r Request) Job() (Job, error) {
+	j, err := r.parse()
+	if err != nil {
+		return Job{}, err
+	}
+	return j.Normalize()
+}
+
+// Key returns the lnuca-job-v2 content address of the run the request
+// describes — identical across library, CLI and HTTP submissions of the
+// same logical run.
+func (r Request) Key() (string, error) {
+	j, err := r.Job()
+	if err != nil {
+		return "", err
+	}
+	return j.Key(), nil
+}
+
+// Normalize returns the canonical form of the request: schema stamped,
+// hierarchy in canonical spelling, defaults applied. Two requests with
+// the same normalized form are the same computation.
+func (r Request) Normalize() (Request, error) {
+	j, err := r.Job()
+	if err != nil {
+		return Request{}, err
+	}
+	return RequestOf(j), nil
+}
+
+// RequestOf renders a job back as a declarative request, inverse to
+// Request.Job up to normalization: RequestOf(j).Job() has the same
+// content key as j for any normalized j.
+func RequestOf(j Job) Request {
+	r := Request{
+		Schema:    RequestSchema,
+		Hierarchy: KindName(j.Kind),
+		Levels:    j.Levels,
+		Benchmark: j.Benchmark,
+		Cores:     j.Cores,
+		Mix:       j.Mix,
+		Seed:      j.Seed,
+		Priority:  j.Priority,
+	}
+	switch j.Mode {
+	case exp.Quick:
+		r.Mode = exp.Quick.Name
+	case exp.Full:
+		r.Mode = exp.Full.Name
+	default:
+		r.Warmup, r.Measure = j.Mode.Warmup, j.Mode.Measure
+	}
+	return r
+}
+
+// KindName is the canonical request spelling of a hierarchy kind — the
+// primary name ParseKind accepts.
+func KindName(k hier.Kind) string {
+	switch k {
+	case hier.Conventional:
+		return "conventional"
+	case hier.LNUCAL3:
+		return "ln+l3"
+	case hier.DNUCAOnly:
+		return "dn-4x8"
+	case hier.LNUCADNUCA:
+		return "ln+dn-4x8"
+	}
+	return k.String()
+}
+
+// SweepRequest declares a benchmark x hierarchy x levels matrix — the
+// POST /v1/sweeps body, and the client-side fan-out unit. An empty
+// Benchmarks list means the full 28-benchmark suite; Levels applies to
+// hierarchies with an L-NUCA (empty = depth 3).
+type SweepRequest struct {
+	Schema      string   `json:"schema,omitempty"`
+	Hierarchies []string `json:"hierarchies"`
+	Levels      []int    `json:"levels,omitempty"`
+	Benchmarks  []string `json:"benchmarks,omitempty"`
+	Mode        string   `json:"mode,omitempty"`
+	Warmup      uint64   `json:"warmup,omitempty"`
+	Measure     uint64   `json:"measure,omitempty"`
+	Seed        uint64   `json:"seed,omitempty"`
+	Priority    int      `json:"priority,omitempty"`
+}
+
+// Expand fans the matrix out into one Request per cell. Expansion is
+// deterministic, so submitting the expanded requests one by one is
+// content-equivalent to submitting the sweep.
+func (s SweepRequest) Expand() ([]Request, error) {
+	if s.Schema != "" && s.Schema != RequestSchema {
+		return nil, fmt.Errorf("orchestrator: unsupported sweep schema %q (want %q)", s.Schema, RequestSchema)
+	}
+	if len(s.Hierarchies) == 0 {
+		return nil, errors.New("orchestrator: sweep needs at least one hierarchy")
+	}
+	kinds := make([]hier.Kind, len(s.Hierarchies))
+	for i, h := range s.Hierarchies {
+		k, err := ParseKind(h)
+		if err != nil {
+			return nil, err
+		}
+		kinds[i] = k
+	}
+	mode, err := ParseMode(s.Mode)
+	if err != nil {
+		return nil, err
+	}
+	if s.Warmup != 0 || s.Measure != 0 {
+		mode = exp.Mode{Name: "custom", Warmup: s.Warmup, Measure: s.Measure}
+	}
+	benches := s.Benchmarks
+	if len(benches) == 0 {
+		benches = workload.Names()
+	}
+	jobs := ExpandSweep(kinds, s.Levels, benches, mode, s.Seed)
+	out := make([]Request, len(jobs))
+	for i, j := range jobs {
+		r := RequestOf(j)
+		r.Priority = s.Priority
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Jobs expands and parses the sweep into un-normalized jobs, ready for
+// SubmitSweep (which normalizes and validates each cell).
+func (s SweepRequest) Jobs() ([]Job, error) {
+	reqs, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]Job, len(reqs))
+	for i, r := range reqs {
+		j, err := r.parse()
+		if err != nil {
+			return nil, fmt.Errorf("sweep cell %d: %w", i, err)
+		}
+		jobs[i] = j
+	}
+	return jobs, nil
+}

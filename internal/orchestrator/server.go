@@ -7,8 +7,6 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/exp"
-	"repro/internal/hier"
 	"repro/internal/workload"
 )
 
@@ -58,48 +56,6 @@ func writeError(w http.ResponseWriter, code int, format string, args ...interfac
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// jobRequest is the POST /v1/jobs body. Mode is a named mode ("quick",
-// "full"); explicit warmup/measure windows override it. Setting cores > 1
-// selects the multi-programmed CMP mode: mix (a named mix, "random", or
-// an explicit comma-separated benchmark list) replaces benchmark, and
-// the resolved mix is part of the job's content key.
-type jobRequest struct {
-	Hierarchy string `json:"hierarchy"`
-	Levels    int    `json:"levels"`
-	Benchmark string `json:"benchmark"`
-	Cores     int    `json:"cores"`
-	Mix       string `json:"mix"`
-	Mode      string `json:"mode"`
-	Warmup    uint64 `json:"warmup"`
-	Measure   uint64 `json:"measure"`
-	Seed      uint64 `json:"seed"`
-	Priority  int    `json:"priority"`
-}
-
-func (req jobRequest) toJob() (Job, error) {
-	kind, err := ParseKind(req.Hierarchy)
-	if err != nil {
-		return Job{}, err
-	}
-	mode, err := ParseMode(req.Mode)
-	if err != nil {
-		return Job{}, err
-	}
-	if req.Warmup != 0 || req.Measure != 0 {
-		mode = exp.Mode{Name: "custom", Warmup: req.Warmup, Measure: req.Measure}
-	}
-	return Job{
-		Kind:      kind,
-		Levels:    req.Levels,
-		Benchmark: req.Benchmark,
-		Cores:     req.Cores,
-		Mix:       req.Mix,
-		Mode:      mode,
-		Seed:      req.Seed,
-		Priority:  req.Priority,
-	}, nil
-}
-
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
@@ -119,12 +75,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
-		var req jobRequest
+		// The body is the declarative run schema (lnuca-run-v1) — the
+		// same Request the library and CLI front-ends build, so any
+		// entry path yields the same content key.
+		var req Request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, "bad job body: %v", err)
 			return
 		}
-		job, err := req.toJob()
+		job, err := req.parse()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -175,54 +134,21 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// sweepRequest is the POST /v1/sweeps body. Empty benchmarks means the
-// full 28-benchmark suite; levels applies to L-NUCA hierarchies.
-type sweepRequest struct {
-	Hierarchies []string `json:"hierarchies"`
-	Levels      []int    `json:"levels"`
-	Benchmarks  []string `json:"benchmarks"`
-	Mode        string   `json:"mode"`
-	Warmup      uint64   `json:"warmup"`
-	Measure     uint64   `json:"measure"`
-	Seed        uint64   `json:"seed"`
-}
-
 func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
-	var req sweepRequest
+	var req SweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad sweep body: %v", err)
 		return
 	}
-	if len(req.Hierarchies) == 0 {
-		writeError(w, http.StatusBadRequest, "sweep needs at least one hierarchy")
-		return
-	}
-	kinds := make([]hier.Kind, 0, len(req.Hierarchies))
-	for _, h := range req.Hierarchies {
-		k, err := ParseKind(h)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		kinds = append(kinds, k)
-	}
-	mode, err := ParseMode(req.Mode)
+	jobs, err := req.Jobs()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if req.Warmup != 0 || req.Measure != 0 {
-		mode = exp.Mode{Name: "custom", Warmup: req.Warmup, Measure: req.Measure}
-	}
-	benches := req.Benchmarks
-	if len(benches) == 0 {
-		benches = workload.Names()
-	}
-	jobs := ExpandSweep(kinds, req.Levels, benches, mode, req.Seed)
 	sid, recs, err := s.orch.SubmitSweep(jobs)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
@@ -258,7 +184,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	req := jobRequest{
+	req := Request{
 		Hierarchy: q.Get("hierarchy"),
 		Benchmark: q.Get("benchmark"),
 		Mix:       q.Get("mix"),
@@ -287,7 +213,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	job, err := req.toJob()
+	job, err := req.parse()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -77,6 +77,22 @@ func (s *Set) ScalarNames() []string {
 	return out
 }
 
+// Clone returns an independent deep copy of the set (nil stays nil), so
+// callers handed a cached set cannot corrupt it for later readers.
+func (s *Set) Clone() *Set {
+	if s == nil {
+		return nil
+	}
+	out := NewSet()
+	for k, v := range s.counters {
+		out.counters[k] = v
+	}
+	for k, v := range s.scalars {
+		out.scalars[k] = v
+	}
+	return out
+}
+
 // Merge adds every counter and scalar of other into s.
 func (s *Set) Merge(other *Set) {
 	for k, v := range other.counters {

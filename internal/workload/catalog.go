@@ -8,6 +8,8 @@ package workload
 // the larger secondary working sets that Table III reflects in its bigger
 // Le3/Le4 hit shares.
 
+import "sync"
+
 // intSuite returns the 11 integer profiles.
 func intSuite() []Profile {
 	return []Profile{
@@ -294,32 +296,71 @@ func fpSuite() []Profile {
 	}
 }
 
-// Suite returns all 28 profiles, integer first.
+// The catalog is immutable and hot (ByName sits on the normalization
+// path of every job), so it is built once and served as defensive
+// copies: Profile is a pure value type, so copying the slice is a deep
+// copy, and no caller can mutate what another caller (or a mix pool
+// validated against it) will read.
+var (
+	catalogOnce sync.Once
+	catalog     []Profile // integer suite first, then FP
+	catalogInt  int       // len(integer suite)
+	catalogIdx  map[string]int
+)
+
+func initCatalog() {
+	catalogOnce.Do(func() {
+		ints, fps := intSuite(), fpSuite()
+		catalogInt = len(ints)
+		catalog = append(ints, fps...)
+		catalogIdx = make(map[string]int, len(catalog))
+		for i, p := range catalog {
+			catalogIdx[p.Name] = i
+		}
+	})
+}
+
+func copyProfiles(src []Profile) []Profile {
+	out := make([]Profile, len(src))
+	copy(out, src)
+	return out
+}
+
+// Suite returns all 28 profiles, integer first. The slice is the
+// caller's to mutate.
 func Suite() []Profile {
-	return append(intSuite(), fpSuite()...)
+	initCatalog()
+	return copyProfiles(catalog)
 }
 
 // IntSuite returns the integer profiles.
-func IntSuite() []Profile { return intSuite() }
+func IntSuite() []Profile {
+	initCatalog()
+	return copyProfiles(catalog[:catalogInt])
+}
 
 // FPSuite returns the floating-point profiles.
-func FPSuite() []Profile { return fpSuite() }
+func FPSuite() []Profile {
+	initCatalog()
+	return copyProfiles(catalog[catalogInt:])
+}
 
 // ByName finds a profile.
 func ByName(name string) (Profile, bool) {
-	for _, p := range Suite() {
-		if p.Name == name {
-			return p, true
-		}
+	initCatalog()
+	i, ok := catalogIdx[name]
+	if !ok {
+		return Profile{}, false
 	}
-	return Profile{}, false
+	return catalog[i], true
 }
 
-// Names lists every profile name in suite order.
+// Names lists every profile name in suite order. The slice is the
+// caller's to mutate.
 func Names() []string {
-	s := Suite()
-	out := make([]string, len(s))
-	for i, p := range s {
+	initCatalog()
+	out := make([]string, len(catalog))
+	for i, p := range catalog {
 		out[i] = p.Name
 	}
 	return out

@@ -35,6 +35,45 @@ func TestCatalogShape(t *testing.T) {
 	}
 }
 
+// TestCatalogDefensiveCopies: the memoized catalog must be immune to
+// callers mutating what Suite/IntSuite/FPSuite/Names hand out — the
+// returned slices are copies, and Profile is a value type.
+func TestCatalogDefensiveCopies(t *testing.T) {
+	s := Suite()
+	origName, origLoad := s[0].Name, s[0].LoadFrac
+	s[0].Name = "666.mutated"
+	s[0].LoadFrac = 99
+
+	if got := Suite()[0]; got.Name != origName || got.LoadFrac != origLoad {
+		t.Fatalf("Suite() shares backing storage: %+v", got)
+	}
+	if _, ok := ByName(origName); !ok {
+		t.Fatalf("ByName(%q) broken after Suite mutation", origName)
+	}
+	if _, ok := ByName("666.mutated"); ok {
+		t.Fatal("mutated name leaked into the catalog index")
+	}
+
+	names := Names()
+	names[0] = "mutated"
+	if Names()[0] != origName {
+		t.Fatal("Names() shares backing storage")
+	}
+
+	ints := IntSuite()
+	ints[0].Class = FP
+	if IntSuite()[0].Class != Int {
+		t.Fatal("IntSuite() shares backing storage")
+	}
+
+	// ByName returns a value: mutating it is local to the caller.
+	p, _ := ByName(origName)
+	p.HotFrac = -1
+	if q, _ := ByName(origName); q.HotFrac == -1 {
+		t.Fatal("ByName() result aliases the catalog")
+	}
+}
+
 func TestByName(t *testing.T) {
 	p, ok := ByName("429.mcf")
 	if !ok || p.Name != "429.mcf" {

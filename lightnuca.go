@@ -3,29 +3,106 @@
 // al., "Light NUCA: a proposal for bridging the inter-cache latency gap"
 // (DATE 2009), together with the paper's complete evaluation environment —
 // conventional and D-NUCA baselines, an out-of-order core model, synthetic
-// SPEC CPU2006-like workloads, and area/energy/timing models.
+// SPEC CPU2006-like workloads, CMP workload mixes over a shared LLC, and
+// area/energy/timing models.
+//
+// # One schema, many entry paths
+//
+// Every run is described by the same declarative, versioned Request
+// (schema lnuca-run-v1): hierarchy, L-NUCA levels, benchmark or
+// cores+mix, window, seed. The CLIs build a Request from flags, the
+// lnucad service decodes it from JSON, and library callers hand it to a
+// Runner. All paths normalize into the same canonical job and the same
+// lnuca-job-v2 content key, so a result computed through any front-end
+// is a cache hit for every other.
+//
+// Two Runner implementations ship:
+//
+//   - Local simulates in process, optionally backed by the same on-disk
+//     content-addressed result store lnucad and lnucasweep share;
+//   - Client submits to a running lnucad over HTTP, with polling,
+//     cancellation, sweep fan-out and streaming progress.
 //
 // A minimal session:
 //
-//	res, err := lightnuca.Run(lightnuca.LNUCAPlusL3, "482.sphinx3", lightnuca.Options{})
+//	runner := &lightnuca.Local{}
+//	res, err := runner.Run(ctx, lightnuca.Request{
+//		Hierarchy: "ln+l3",
+//		Benchmark: "482.sphinx3",
+//	})
 //	fmt.Printf("IPC %.3f over %d cycles\n", res.IPC, res.Cycles)
+//
+// A 4-core CMP mix against a running service:
+//
+//	client := lightnuca.NewClient("localhost:8347")
+//	res, err := client.Run(ctx, lightnuca.Request{
+//		Hierarchy: "ln+l3", Cores: 4, Mix: "memory", Seed: 3,
+//	})
 //
 // The cmd/ directory regenerates every table and figure of the paper;
 // DESIGN.md maps each to its implementation.
 package lightnuca
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/exp"
 	"repro/internal/hier"
 	"repro/internal/lnuca"
+	"repro/internal/orchestrator"
 	"repro/internal/power"
 	"repro/internal/sram"
 	"repro/internal/stats"
 	"repro/internal/tech"
 	"repro/internal/timing"
 	"repro/internal/workload"
+)
+
+// Request is the declarative description of one run — the lnuca-run-v1
+// schema shared verbatim by the library, the CLIs and the lnucad HTTP
+// API. See the field docs on the underlying type for defaults; only
+// Hierarchy plus either Benchmark or Cores+Mix are required.
+type Request = orchestrator.Request
+
+// Sweep declares a hierarchy x levels x benchmark matrix of runs: the
+// POST /v1/sweeps body and the unit of client-side fan-out. Expand turns
+// it into one Request per cell.
+type Sweep = orchestrator.SweepRequest
+
+// RequestSchema is the current declarative run schema version.
+const RequestSchema = orchestrator.RequestSchema
+
+// Runner executes Requests. Implementations: Local (in process) and
+// Client (HTTP against lnucad). Both resolve a Request to the same
+// content key, so they share cached results transparently.
+type Runner interface {
+	Run(ctx context.Context, req Request) (Result, error)
+}
+
+// CoreResult is one core's measured share of a CMP mix run.
+type CoreResult = exp.CoreResult
+
+// JobRecord is the service-side snapshot of a submitted run: identity
+// (ID and content key), lifecycle status, progress, and the inlined
+// result once done.
+type JobRecord = orchestrator.JobRecord
+
+// SweepStatus aggregates the records of one submitted sweep.
+type SweepStatus = orchestrator.SweepStatus
+
+// Metrics is the lnucad operational counter snapshot (GET /metrics).
+type Metrics = orchestrator.Metrics
+
+// Status is a submitted run's lifecycle state.
+type Status = orchestrator.Status
+
+// The run lifecycle: queued -> running -> done | failed | canceled.
+const (
+	StatusQueued   = orchestrator.StatusQueued
+	StatusRunning  = orchestrator.StatusRunning
+	StatusDone     = orchestrator.StatusDone
+	StatusFailed   = orchestrator.StatusFailed
+	StatusCanceled = orchestrator.StatusCanceled
 )
 
 // Hierarchy selects one of the four organizations of Fig. 1.
@@ -43,69 +120,117 @@ const (
 	LNUCAPlusDNUCA = hier.LNUCADNUCA
 )
 
-// Options tune a run; the zero value reproduces the paper's Table I
-// machine with a 3-level L-NUCA at test scale.
+// HierarchyName renders a Hierarchy as the canonical Request.Hierarchy
+// spelling ("conventional", "ln+l3", "dn-4x8", "ln+dn-4x8").
+func HierarchyName(h Hierarchy) string { return orchestrator.KindName(h) }
+
+// Result summarizes one measured window. Key is the run's lnuca-job-v2
+// content address — identical for the same logical run regardless of
+// which Runner (or CLI, or HTTP call) produced it — and Cached reports
+// whether it was served from the result store without simulating.
+type Result struct {
+	// Key is the content address of the run.
+	Key string
+	// Cached reports a result served without simulating.
+	Cached bool
+	// Config is the paper-style configuration label (e.g. "LN3-144KB",
+	// or "4x LN3-144KB" for a mix).
+	Config string
+	// Benchmark is the synthetic workload name (single-core runs).
+	Benchmark string
+	// IPC is committed instructions per cycle over the measured window
+	// (single-core runs).
+	IPC float64
+	// Cycles is the measured window length.
+	Cycles uint64
+	// Energy is the Fig. 4(b)/5(b)-style breakdown for the window.
+	Energy power.Breakdown
+
+	// CMP mode (Cores > 1): per-core measurements over the shared LLC,
+	// aggregate throughput (sum of per-core IPCs), and the
+	// Snavely-Tullsen weighted speedup against single-core baselines.
+	Cores           int
+	PerCore         []CoreResult
+	ThroughputIPC   float64
+	WeightedSpeedup float64
+
+	// Stats exposes every counter the simulator collected.
+	Stats *stats.Set
+}
+
+// resultFrom converts the orchestrator's servable result into the public
+// Result shape. Stats and PerCore are deep-copied: jr may be (or become)
+// a live cache entry shared by every later hit on the same key, and a
+// caller mutating its Result must not corrupt what the cache serves
+// next.
+func resultFrom(key string, jr *orchestrator.JobResult, cached bool) Result {
+	out := Result{
+		Key:             key,
+		Cached:          cached,
+		Config:          jr.Config,
+		Benchmark:       jr.Benchmark,
+		IPC:             jr.IPC,
+		Cycles:          jr.Cycles,
+		Cores:           jr.Cores,
+		PerCore:         append([]CoreResult(nil), jr.PerCore...),
+		ThroughputIPC:   jr.ThroughputIPC,
+		WeightedSpeedup: jr.WeightedSpeedup,
+		Stats:           jr.Stats.Clone(),
+	}
+	for b := power.Bucket(0); b < 4; b++ {
+		out.Energy.Add(b, jr.EnergyPJ[b])
+	}
+	return out
+}
+
+// Options tune a run submitted through the deprecated Run entry point.
+//
+// Deprecated: build a Request instead; it carries the same fields plus
+// the CMP mode, and flows unchanged through every front-end.
 type Options struct {
 	// Levels selects the L-NUCA depth (2..6; default 3).
 	Levels int
 	// Seed makes runs reproducible (default 1).
 	Seed uint64
 	// WarmupInstructions and MeasureInstructions size the run (defaults:
-	// the harness "quick" mode; the paper uses 200M + 100M).
+	// the harness "quick" mode; the paper uses 200M + 100M). Setting a
+	// warmup without a measured window is rejected.
 	WarmupInstructions, MeasureInstructions uint64
 }
 
-// Result summarizes one measured window.
-type Result struct {
-	// Config is the paper-style configuration label (e.g. "LN3-144KB").
-	Config string
-	// Benchmark is the synthetic workload name.
-	Benchmark string
-	// IPC is committed instructions per cycle over the measured window.
-	IPC float64
-	// Cycles is the measured window length.
-	Cycles uint64
-	// Energy is the Fig. 4(b)/5(b)-style breakdown for the window.
-	Energy power.Breakdown
-	// Stats exposes every counter the simulator collected.
-	Stats *stats.Set
-}
-
-// Benchmarks lists the 28 synthetic SPEC CPU2006 workload names.
-func Benchmarks() []string { return workload.Names() }
+// defaultRunner backs the deprecated Run shim; repeated identical runs
+// memoize in process.
+var defaultRunner Local
 
 // Run simulates one benchmark on one hierarchy and reports the measured
 // window.
+//
+// Deprecated: use a Runner with a Request — Run(h, b, opt) is exactly
+//
+//	(&lightnuca.Local{}).Run(ctx, lightnuca.Request{
+//		Hierarchy: lightnuca.HierarchyName(h), Benchmark: b,
+//		Levels: opt.Levels, Seed: opt.Seed,
+//		Warmup: opt.WarmupInstructions, Measure: opt.MeasureInstructions,
+//	})
 func Run(h Hierarchy, benchmark string, opt Options) (Result, error) {
-	prof, ok := workload.ByName(benchmark)
-	if !ok {
-		return Result{}, fmt.Errorf("lightnuca: unknown benchmark %q (see Benchmarks())", benchmark)
-	}
-	mode := exp.Quick
-	if opt.MeasureInstructions > 0 {
-		mode = exp.Mode{Name: "custom", Warmup: opt.WarmupInstructions, Measure: opt.MeasureInstructions}
-	}
-	seed := opt.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	levels := opt.Levels
-	if levels == 0 {
-		levels = 3
-	}
-	spec := exp.Spec{Kind: h, Levels: levels}
-	r := exp.RunOne(spec, prof, mode, seed)
-	if r.Err != nil {
-		return Result{}, r.Err
-	}
-	return Result{
-		Config:    spec.Label(),
+	return defaultRunner.Run(context.Background(), Request{
+		Hierarchy: HierarchyName(h),
+		Levels:    opt.Levels,
 		Benchmark: benchmark,
-		IPC:       r.IPC,
-		Cycles:    r.Cycles,
-		Energy:    r.Energy,
-		Stats:     r.Stats,
-	}, nil
+		Warmup:    opt.WarmupInstructions,
+		Measure:   opt.MeasureInstructions,
+		Seed:      opt.Seed,
+	})
+}
+
+// Benchmarks lists the 28 synthetic SPEC CPU2006 workload names. The
+// returned slice is a copy; mutating it cannot corrupt the catalog.
+func Benchmarks() []string { return workload.Names() }
+
+// Mixes lists the named CMP workload mixes, plus the seeded-draw
+// pseudo-mix "random".
+func Mixes() []string {
+	return append(workload.MixNames(), workload.RandomMixName)
 }
 
 // Topology returns the Fig. 2(c)-style latency grid plus the link

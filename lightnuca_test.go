@@ -39,6 +39,38 @@ func TestBenchmarksList(t *testing.T) {
 	}
 }
 
+// TestBenchmarksDefensiveCopy: the returned slice is the caller's;
+// scribbling on it must not corrupt the workload catalog another caller
+// (or a later Run) reads.
+func TestBenchmarksDefensiveCopy(t *testing.T) {
+	names := lightnuca.Benchmarks()
+	orig := names[0]
+	for i := range names {
+		names[i] = "666.mutated"
+	}
+	fresh := lightnuca.Benchmarks()
+	if fresh[0] != orig {
+		t.Fatalf("catalog mutated through the returned slice: %q", fresh[0])
+	}
+	if _, err := lightnuca.Run(lightnuca.Conventional, orig, lightnuca.Options{}); err != nil {
+		t.Fatalf("catalog lookup broken after mutation: %v", err)
+	}
+}
+
+// TestRunRejectsHalfSpecifiedWindow: a warmup without a measured window
+// used to be silently ignored; it must now be an error.
+func TestRunRejectsHalfSpecifiedWindow(t *testing.T) {
+	_, err := lightnuca.Run(lightnuca.Conventional, "403.gcc", lightnuca.Options{
+		WarmupInstructions: 1000,
+	})
+	if err == nil {
+		t.Fatal("warmup-only window accepted")
+	}
+	if !strings.Contains(err.Error(), "measured window") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
 func TestTopology(t *testing.T) {
 	out, err := lightnuca.Topology(3)
 	if err != nil {

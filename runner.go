@@ -1,0 +1,103 @@
+package lightnuca
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/orchestrator"
+)
+
+// Local is the in-process Runner: it normalizes a Request, consults the
+// content-addressed result cache, and simulates on a miss. The zero
+// value is ready to use (memory-only cache); CacheDir points it at the
+// same on-disk store lnucad and lnucasweep share, so a Local runner, the
+// CLIs and the service never recompute each other's runs.
+//
+// CMP mix requests resolve their weighted-speedup baselines through the
+// same cache — one single-core run per distinct benchmark in the mix,
+// memoized under its own key.
+//
+// Local is safe for concurrent use once configured (identical
+// concurrent Requests coalesce onto a single simulation); the
+// configuration fields must not be changed after the first Run.
+type Local struct {
+	// CacheDir optionally backs the runner with a directory of
+	// <key>.json results (empty = in-memory only).
+	CacheDir string
+	// CacheEntries bounds the in-memory LRU (0 = the orchestrator
+	// default).
+	CacheEntries int
+	// OnProgress, when set, receives (committed, total) instruction
+	// counts as runs advance.
+	OnProgress func(done, total uint64)
+
+	once  sync.Once
+	cache *orchestrator.Cache
+	run   orchestrator.RunFunc
+
+	mu       sync.Mutex
+	inflight map[string]chan struct{}
+}
+
+func (l *Local) init() {
+	l.once.Do(func() {
+		l.cache = orchestrator.NewCache(l.CacheEntries, l.CacheDir)
+		l.run = orchestrator.SimRunWith(l.cache)
+		l.inflight = make(map[string]chan struct{})
+	})
+}
+
+// Run implements Runner: normalize, look up, simulate on a miss, store.
+// Concurrent Runs of the same content key coalesce — one simulates, the
+// rest wait and read its published result. The context is polled
+// between simulation chunks, so cancellation lands mid-run.
+func (l *Local) Run(ctx context.Context, req Request) (Result, error) {
+	l.init()
+	job, err := req.Job()
+	if err != nil {
+		return Result{}, err
+	}
+	key := job.Key()
+	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		if res, ok := l.cache.Get(key); ok {
+			return resultFrom(key, res, true), nil
+		}
+		l.mu.Lock()
+		if done, busy := l.inflight[key]; busy {
+			l.mu.Unlock()
+			// Another Run is simulating this content; wait for it to
+			// publish (or fail), then reconsult the cache.
+			select {
+			case <-done:
+				continue
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			}
+		}
+		done := make(chan struct{})
+		l.inflight[key] = done
+		l.mu.Unlock()
+
+		res, err := l.run(ctx, job, l.OnProgress)
+		if err == nil {
+			l.cache.Put(key, res)
+		}
+		l.mu.Lock()
+		delete(l.inflight, key)
+		l.mu.Unlock()
+		close(done)
+		if err != nil {
+			return Result{}, err
+		}
+		return resultFrom(key, res, false), nil
+	}
+}
+
+// CacheStats reports the runner's result-cache hit/miss counters.
+func (l *Local) CacheStats() (hits, misses uint64) {
+	l.init()
+	return l.cache.Hits(), l.cache.Misses()
+}

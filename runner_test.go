@@ -1,0 +1,84 @@
+package lightnuca_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	lightnuca "repro"
+)
+
+// TestLocalResultDetachedFromCache: a caller mutating the Stats or
+// PerCore of a returned Result must not corrupt what the runner's cache
+// serves on the next hit.
+func TestLocalResultDetachedFromCache(t *testing.T) {
+	local := &lightnuca.Local{}
+	req := lightnuca.Request{
+		Hierarchy: "conventional", Benchmark: "456.hmmer",
+		Warmup: 500, Measure: 2000, Seed: 1,
+	}
+	ctx := context.Background()
+
+	res1, err := local.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := res1.Stats.Counter("core.committed")
+	if orig == 0 {
+		t.Fatal("no committed instructions recorded")
+	}
+	res1.Stats.Add("core.committed", 1_000_000)
+
+	res2, err := local.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached {
+		t.Fatal("second run missed the cache")
+	}
+	if got := res2.Stats.Counter("core.committed"); got != orig {
+		t.Fatalf("cache served mutated stats: %d, want %d", got, orig)
+	}
+}
+
+// TestLocalCoalescesConcurrentRuns: identical concurrent Requests must
+// collapse onto one simulation — exactly one Result comes back
+// freshly simulated, the rest are served from the published entry.
+func TestLocalCoalescesConcurrentRuns(t *testing.T) {
+	local := &lightnuca.Local{}
+	req := lightnuca.Request{
+		Hierarchy: "conventional", Benchmark: "403.gcc",
+		Warmup: 500, Measure: 3000, Seed: 2,
+	}
+	const n = 4
+	results := make([]lightnuca.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = local.Run(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+
+	simulated := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if results[i].Key != results[0].Key {
+			t.Fatalf("run %d keyed %s, run 0 keyed %s", i, results[i].Key, results[0].Key)
+		}
+		if results[i].IPC != results[0].IPC {
+			t.Fatalf("run %d IPC %v != run 0 IPC %v", i, results[i].IPC, results[0].IPC)
+		}
+		if !results[i].Cached {
+			simulated++
+		}
+	}
+	if simulated != 1 {
+		t.Fatalf("%d of %d concurrent identical runs simulated, want exactly 1", simulated, n)
+	}
+}
