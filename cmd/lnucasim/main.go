@@ -27,6 +27,7 @@ import (
 	lightnuca "repro"
 	"repro/internal/exp"
 	"repro/internal/orchestrator"
+	"repro/internal/profiling"
 	"repro/internal/workload"
 )
 
@@ -41,8 +42,22 @@ func main() {
 		hierFlag   = flag.String("hier", "ln+l3", "CMP hierarchy: conventional, ln+l3, dn-4x8, or ln+dn-4x8")
 		levelsFlag = flag.Int("levels", 3, "L-NUCA levels for CMP L-NUCA hierarchies (2..6)")
 		cacheFlag  = flag.String("cache", "", "result cache directory shared with lnucad/lnucasweep (CMP mode)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	prof, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	// Stop collectors on the happy path; fatalf exits forfeit the
+	// profiles, which is fine for flag-validation failures.
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fatalf("%v", err)
+		}
+	}()
 
 	mode := exp.Quick
 	if *modeFlag == "full" {

@@ -8,7 +8,15 @@
 //
 // -cache DIR memoizes the full-system runs of -ablate levels in the same
 // content-addressed store lnucad serves from, so repeated sweeps (and the
-// service) never recompute a configuration already measured.
+// service) never recompute a configuration already measured. One Local
+// runner is shared across the whole invocation (whatever mix of ablations
+// it runs), so its end-of-run cache statistics describe the sweep end to
+// end. -j bounds how many independent sweep points simulate concurrently
+// (default GOMAXPROCS); duplicate points still simulate once, coalesced
+// by the shared runner.
+//
+// -cpuprofile / -memprofile write standard runtime/pprof profiles, so
+// kernel performance work is measured rather than guessed.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	lightnuca "repro"
 	"repro/internal/lnuca"
 	"repro/internal/mem"
+	"repro/internal/profiling"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -30,34 +39,63 @@ func main() {
 	ablate := flag.String("ablate", "levels", "routing|buffers|tilesize|levels")
 	instr := flag.Uint64("instr", 30000, "instructions per run")
 	cacheDir := flag.String("cache", "", "result cache directory shared with lnucad (levels sweep only)")
+	jobs := flag.Int("j", 0, "max concurrent sweep points (levels sweep; 0 = GOMAXPROCS)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	switch *ablate {
+	prof, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	// One Local runner for the whole invocation: every runner-backed
+	// sweep shares its cache and coalescing, so nothing simulates twice
+	// and the final cache statistics are meaningful end to end.
+	runner := &lightnuca.Local{CacheDir: *cacheDir}
+
+	err = runSweep(*ablate, *instr, *cacheDir, *jobs, runner)
+	if perr := prof.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "lnucasweep: %v\n", err)
+	os.Exit(1)
+}
+
+func runSweep(ablate string, instr uint64, cacheDir string, jobs int, runner *lightnuca.Local) error {
+	switch ablate {
 	case "routing":
-		sweepFabric("transport routing", []fabricVariant{
+		return sweepFabric("transport routing", []fabricVariant{
 			{"random (paper)", func(c *lnuca.Config) {}},
 			{"deterministic", func(c *lnuca.Config) { c.DeterministicRouting = true }},
-		}, *instr)
+		}, instr)
 	case "buffers":
-		sweepFabric("link buffer depth", []fabricVariant{
+		return sweepFabric("link buffer depth", []fabricVariant{
 			{"1 entry", func(c *lnuca.Config) { c.LinkBufEntries = 1 }},
 			{"2 entries (paper)", func(c *lnuca.Config) { c.LinkBufEntries = 2 }},
 			{"4 entries", func(c *lnuca.Config) { c.LinkBufEntries = 4 }},
-		}, *instr)
+		}, instr)
 	case "tilesize":
-		sweepFabric("tile size", []fabricVariant{
+		if err := sweepFabric("tile size", []fabricVariant{
 			{"2KB tiles", func(c *lnuca.Config) { c.TileBank.SizeBytes = 2 << 10 }},
 			{"4KB tiles", func(c *lnuca.Config) { c.TileBank.SizeBytes = 4 << 10 }},
 			{"8KB tiles (paper)", func(c *lnuca.Config) {}},
 			{"16KB tiles*", func(c *lnuca.Config) { c.TileBank.SizeBytes = 16 << 10 }},
-		}, *instr)
+		}, instr); err != nil {
+			return err
+		}
 		fmt.Println("* a 16KB tile does not meet the single-cycle constraint (lnucatopo -timing);")
 		fmt.Println("  the sweep shows the capacity effect alone.")
+		return nil
 	case "levels":
-		sweepLevels(*instr, *cacheDir)
+		return sweepLevels(instr, cacheDir, jobs, runner)
 	default:
-		fmt.Fprintf(os.Stderr, "lnucasweep: unknown -ablate %q\n", *ablate)
-		os.Exit(1)
+		return fmt.Errorf("unknown -ablate %q", ablate)
 	}
 }
 
@@ -69,19 +107,23 @@ type fabricVariant struct {
 // sweepFabric compares fabric variants on raw fabric throughput: a
 // synthetic requester drives the fabric directly so the ablation isolates
 // the network, not the core.
-func sweepFabric(title string, variants []fabricVariant, instr uint64) {
+func sweepFabric(title string, variants []fabricVariant, instr uint64) error {
 	t := stats.NewTable("ablation: "+title,
 		"variant", "avg hit latency", "transport ratio", "marked restarts", "hits served")
 	for _, v := range variants {
-		lat, ratio, restarts, hits := driveFabric(v.tweak, instr)
+		lat, ratio, restarts, hits, err := driveFabric(v.tweak, instr)
+		if err != nil {
+			return err
+		}
 		t.AddRowf(v.name, lat, ratio, fmt.Sprint(restarts), fmt.Sprint(hits))
 	}
 	fmt.Println(t)
+	return nil
 }
 
 // driveFabric hammers a 3-level fabric with a hot tile working set to
 // expose contention behaviour.
-func driveFabric(tweak func(*lnuca.Config), ops uint64) (avgLat, ratio float64, restarts, hits uint64) {
+func driveFabric(tweak func(*lnuca.Config), ops uint64) (avgLat, ratio float64, restarts, hits uint64, err error) {
 	cfg := lnuca.DefaultConfig(3)
 	tweak(&cfg)
 	up := mem.NewPort(16, 16)
@@ -89,8 +131,7 @@ func driveFabric(tweak func(*lnuca.Config), ops uint64) (avgLat, ratio float64, 
 	var ids mem.IDSource
 	f, err := lnuca.NewFabric(cfg, up, down, &ids)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lnucasweep:", err)
-		os.Exit(1)
+		return 0, 0, 0, 0, err
 	}
 	k := sim.NewKernel()
 	k.MustRegister(f)
@@ -114,7 +155,7 @@ func driveFabric(tweak func(*lnuca.Config), ops uint64) (avgLat, ratio float64, 
 	if drv.done > 0 {
 		avgLat = float64(latSum) / float64(drv.done)
 	}
-	return avgLat, s.Scalar("ln.transport_ratio"), s.Counter("ln.marked_restarts"), drv.done
+	return avgLat, s.Scalar("ln.transport_ratio"), s.Counter("ln.marked_restarts"), drv.done, nil
 }
 
 // driver issues reads over the pre-placed working set and answers fabric
@@ -177,29 +218,36 @@ func (d *driver) Commit(k *sim.Kernel) {
 // diminishing-returns claim ("performance increments do not pay off
 // beyond 4 levels"). Each cell is a declarative lnuca-run-v1 Request
 // built from the flags — the same schema the library and lnucad accept,
-// keyed identically — executed through a Local runner; with -cache the
-// content-addressed store persists on disk and is shared with lnucad.
-func sweepLevels(instr uint64, cacheDir string) {
-	ctx := context.Background()
-	runner := &lightnuca.Local{CacheDir: cacheDir}
-	t := stats.NewTable("ablation: L-NUCA levels (full system, subset of benchmarks)",
-		"levels", "capacity KB", "IPC hmean", "gain % vs 2 levels")
-	base := 0.0
+// keyed identically — and the whole matrix executes through RunAll over
+// the one shared Local runner, up to -j points at a time; with -cache
+// the content-addressed store persists on disk and is shared with
+// lnucad.
+func sweepLevels(instr uint64, cacheDir string, jobs int, runner *lightnuca.Local) error {
+	var reqs []lightnuca.Request
 	for levels := 2; levels <= 6; levels++ {
-		var ipcs []float64
 		for _, name := range benchNames {
-			res, err := runner.Run(ctx, lightnuca.Request{
+			reqs = append(reqs, lightnuca.Request{
 				Hierarchy: "ln+l3",
 				Levels:    levels,
 				Benchmark: name,
 				Measure:   instr,
 				Seed:      1,
 			})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "lnucasweep:", err)
-				os.Exit(1)
-			}
-			ipcs = append(ipcs, res.IPC)
+		}
+	}
+	results, err := lightnuca.RunAll(context.Background(), runner, reqs, jobs)
+	if err != nil {
+		return err
+	}
+
+	t := stats.NewTable("ablation: L-NUCA levels (full system, subset of benchmarks)",
+		"levels", "capacity KB", "IPC hmean", "gain % vs 2 levels")
+	base := 0.0
+	for i, levels := 0, 2; levels <= 6; levels++ {
+		var ipcs []float64
+		for range benchNames {
+			ipcs = append(ipcs, results[i].IPC)
+			i++
 		}
 		hm := stats.HarmonicMean(ipcs)
 		if levels == 2 {
@@ -209,8 +257,11 @@ func sweepLevels(instr uint64, cacheDir string) {
 			hm, stats.SpeedupPercent(hm, base))
 	}
 	fmt.Println(t)
+	hits, misses := runner.CacheStats()
+	where := "in memory"
 	if cacheDir != "" {
-		hits, misses := runner.CacheStats()
-		fmt.Printf("result cache: %d hits, %d misses (%s)\n", hits, misses, cacheDir)
+		where = cacheDir
 	}
+	fmt.Printf("result cache: %d hits, %d misses (%s)\n", hits, misses, where)
+	return nil
 }

@@ -81,8 +81,8 @@ type Controller struct {
 	ids  *mem.IDSource
 
 	portFreeAt []sim.Cycle
-	pending    []timedResp // matured hit/fill responses awaiting delivery
-	fetchQ     []timedReq  // downstream fetches awaiting miss determination/channel space
+	pending    sim.Queue[timedResp] // matured hit/fill responses awaiting delivery
+	fetchQ     sim.Queue[timedReq]  // downstream fetches awaiting miss determination/channel space
 
 	// Counters (exported for the statistics and energy models).
 	Reads, ReadHits, ReadMisses  uint64
@@ -90,6 +90,10 @@ type Controller struct {
 	Fills, WritebacksOut         uint64
 	WBufForwards, BankAccesses   uint64
 	StallMSHRFull, StallWBufFull uint64
+
+	// Quiescence bookkeeping: per-cycle counter increments of a blocked
+	// idle state, recorded by NextEvent and applied by SkipTo.
+	skipMSHRFull, skipWBufFull, skipMergeRejects, skipWBufRejects uint64
 }
 
 type timedResp struct {
@@ -193,7 +197,7 @@ func (c *Controller) handleFills(now sim.Cycle) {
 		}
 		for _, t := range targets {
 			if t.Kind == mem.Read {
-				c.pending = append(c.pending, timedResp{
+				c.pending.Push(timedResp{
 					resp:  &mem.Resp{ID: t.ReqID, Addr: t.Addr, Done: now},
 					ready: now + sim.Cycle(c.cfg.BusCycles),
 				})
@@ -205,17 +209,16 @@ func (c *Controller) handleFills(now sim.Cycle) {
 // issueFetches pushes queued MSHR fetches downstream once miss
 // determination has elapsed and as channel space allows.
 func (c *Controller) issueFetches(now sim.Cycle) {
-	for len(c.fetchQ) > 0 && c.fetchQ[0].ready <= now && c.down.Down.CanPush() {
-		c.down.Down.Push(c.fetchQ[0].req)
-		c.fetchQ = c.fetchQ[1:]
+	for c.fetchQ.Len() > 0 && c.fetchQ.Front().ready <= now && c.down.Down.CanPush() {
+		r, _ := c.fetchQ.Pop()
+		c.down.Down.Push(r.req)
 	}
 }
 
 // deliverResponses sends matured responses upstream.
 func (c *Controller) deliverResponses(now sim.Cycle) {
-	for len(c.pending) > 0 && c.pending[0].ready <= now && c.up.Up.CanPush() {
-		r := c.pending[0]
-		c.pending = c.pending[1:]
+	for c.pending.Len() > 0 && c.pending.Front().ready <= now && c.up.Up.CanPush() {
+		r, _ := c.pending.Pop()
 		r.resp.Done = now
 		c.up.Up.Push(r.resp)
 	}
@@ -255,7 +258,7 @@ func (c *Controller) acceptRead(now sim.Cycle, req *mem.Req) bool {
 		c.Reads++
 		c.ReadHits++
 		c.WBufForwards++
-		c.pending = append(c.pending, timedResp{
+		c.pending.Push(timedResp{
 			resp:  &mem.Resp{ID: req.ID, Addr: req.Addr},
 			ready: now + sim.Cycle(c.cfg.CompletionCycles+c.cfg.BusCycles),
 		})
@@ -280,7 +283,7 @@ func (c *Controller) acceptRead(now sim.Cycle, req *mem.Req) bool {
 	c.Reads++
 	if c.bank.Access(line, false) {
 		c.ReadHits++
-		c.pending = append(c.pending, timedResp{
+		c.pending.Push(timedResp{
 			resp:  &mem.Resp{ID: req.ID, Addr: req.Addr},
 			ready: now + sim.Cycle(c.cfg.CompletionCycles+c.cfg.BusCycles),
 		})
@@ -299,7 +302,7 @@ func (c *Controller) queueFetch(line mem.Addr, issued sim.Cycle, now sim.Cycle) 
 	if m != nil {
 		m.SentDown = true
 	}
-	c.fetchQ = append(c.fetchQ, timedReq{
+	c.fetchQ.Push(timedReq{
 		req: &mem.Req{
 			ID:     c.ids.Next(),
 			Addr:   line,
@@ -376,7 +379,7 @@ func (c *Controller) forwardDown(line mem.Addr, kind mem.Kind) {
 	if c.down.Down.CanPush() {
 		c.down.Down.Push(req)
 	} else {
-		c.fetchQ = append(c.fetchQ, timedReq{req: req})
+		c.fetchQ.Push(timedReq{req: req})
 	}
 	if kind == mem.Writeback {
 		c.WritebacksOut++
@@ -387,6 +390,140 @@ func (c *Controller) forwardDown(line mem.Addr, kind mem.Kind) {
 func (c *Controller) Commit(k *sim.Kernel) {
 	c.up.Up.Tick()
 	c.down.Down.Tick()
+}
+
+// portAvail reports whether a bank port is free at now, without
+// consuming it (the pure counterpart of takePort).
+func (c *Controller) portAvail(now sim.Cycle) bool {
+	for _, t := range c.portFreeAt {
+		if t <= now {
+			return true
+		}
+	}
+	return false
+}
+
+// minPortFree returns the earliest cycle any bank port frees.
+func (c *Controller) minPortFree() sim.Cycle {
+	min := c.portFreeAt[0]
+	for _, t := range c.portFreeAt[1:] {
+		if t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// NextEvent implements sim.Quiescent. The controller is idle when no
+// fill, fetch, response, demand request or buffered write can make
+// progress this cycle; timed wakes come from response/fetch maturity
+// and bank-port initiation gaps. Blocked states that tick a stall (or
+// merge/full-reject) counter every cycle are recorded for SkipTo.
+func (c *Controller) NextEvent(now sim.Cycle) (sim.Cycle, bool) {
+	wake := sim.Never
+	c.skipMSHRFull, c.skipWBufFull, c.skipMergeRejects, c.skipWBufRejects = 0, 0, 0, 0
+	needPort := false
+
+	// handleFills: a visible downstream response.
+	if c.down.Up.Len() > 0 {
+		if c.wbuf.Full() {
+			c.skipWBufFull++ // StallWBufFull ticks until the buffer drains
+		} else if c.portAvail(now) {
+			return 0, false
+		} else {
+			needPort = true
+		}
+	}
+	// issueFetches.
+	if c.fetchQ.Len() > 0 {
+		switch r := c.fetchQ.Front().ready; {
+		case r <= now:
+			if c.down.Down.CanPush() {
+				return 0, false
+			}
+			// Blocked on channel space: external.
+		case r < wake:
+			wake = r
+		}
+	}
+	// deliverResponses.
+	if c.pending.Len() > 0 {
+		switch r := c.pending.Front().ready; {
+		case r <= now:
+			if c.up.Up.CanPush() {
+				return 0, false
+			}
+		case r < wake:
+			wake = r
+		}
+	}
+	// acceptRequests: the head request blocks the queue, so only it
+	// decides idleness.
+	if req, ok := c.up.Down.Peek(); ok {
+		line := c.bank.Line(req.Addr)
+		if req.Kind == mem.Read {
+			switch m := c.mshr.Lookup(line); {
+			case c.wbuf.Contains(line):
+				return 0, false
+			case m != nil:
+				if c.mshr.CanMerge(m) {
+					return 0, false
+				}
+				c.skipMergeRejects++ // Merge is retried (and rejected) every cycle
+			case c.mshr.Full():
+				c.skipMSHRFull++
+			case c.portAvail(now):
+				return 0, false
+			default:
+				needPort = true
+			}
+		} else {
+			// Write/Writeback: wbuf.Add coalesces even when full.
+			if c.wbuf.Contains(line) || !c.wbuf.Full() {
+				return 0, false
+			}
+			c.skipWBufFull++
+			c.skipWBufRejects++
+		}
+	}
+	// drainWriteBuffer head.
+	if e, ok := c.wbuf.Peek(); ok {
+		switch m := c.mshr.Lookup(e.Line); {
+		case m != nil:
+			if c.mshr.CanMerge(m) {
+				return 0, false
+			}
+			c.skipMergeRejects++
+		case c.bank.Probe(e.Line):
+			if c.portAvail(now) {
+				return 0, false
+			}
+			needPort = true
+		case e.Kind == mem.Writeback || c.cfg.Policy == WriteThrough:
+			if c.down.Down.CanPush() {
+				return 0, false
+			}
+		case c.mshr.Full():
+			c.skipMSHRFull++
+		default:
+			return 0, false // would allocate and fetch
+		}
+	}
+	if needPort {
+		if p := c.minPortFree(); p < wake {
+			wake = p
+		}
+	}
+	return wake, true
+}
+
+// SkipTo implements sim.Quiescent.
+func (c *Controller) SkipTo(now, target sim.Cycle) {
+	delta := uint64(target - now)
+	c.StallMSHRFull += c.skipMSHRFull * delta
+	c.StallWBufFull += c.skipWBufFull * delta
+	c.mshr.MergeRejects += c.skipMergeRejects * delta
+	c.wbuf.FullRejects += c.skipWBufRejects * delta
 }
 
 // Collect adds this level's counters to s under the given prefix.

@@ -30,6 +30,7 @@ type MSHR struct {
 // L1/L2 (8 for L3) and allows 4 secondary misses to merge per entry.
 type MSHRFile struct {
 	entries      []*MSHR
+	freelist     []*MSHR // retired entries recycled by Allocate
 	maxEntries   int
 	maxSecondary int
 
@@ -70,13 +71,24 @@ func (f *MSHRFile) Full() bool { return len(f.entries) >= f.maxEntries }
 func (f *MSHRFile) Len() int { return len(f.entries) }
 
 // Allocate creates an entry for a primary miss on line. It returns nil
-// when the file is full (the caller must stall).
+// when the file is full (the caller must stall). Entries released by
+// Free are recycled, so a steady-state miss stream allocates nothing.
 func (f *MSHRFile) Allocate(line mem.Addr, t Target) *MSHR {
 	if f.Full() {
 		f.FullStalls++
 		return nil
 	}
-	m := &MSHR{Line: line, Targets: []Target{t}}
+	var m *MSHR
+	if n := len(f.freelist); n > 0 {
+		m = f.freelist[n-1]
+		f.freelist = f.freelist[:n-1]
+		m.Line = line
+		m.Targets = append(m.Targets[:0], t)
+		m.SentDown = false
+	} else {
+		m = &MSHR{Line: line, Targets: make([]Target, 1, 1+f.maxSecondary)}
+		m.Targets[0] = t
+	}
 	f.entries = append(f.entries, m)
 	f.Primary++
 	return m
@@ -85,7 +97,7 @@ func (f *MSHRFile) Allocate(line mem.Addr, t Target) *MSHR {
 // Merge adds a secondary miss to an existing entry. It reports false when
 // the per-entry secondary limit is reached (the caller must stall).
 func (f *MSHRFile) Merge(m *MSHR, t Target) bool {
-	if len(m.Targets)-1 >= f.maxSecondary {
+	if !f.CanMerge(m) {
 		f.MergeRejects++
 		return false
 	}
@@ -94,12 +106,21 @@ func (f *MSHRFile) Merge(m *MSHR, t Target) bool {
 	return true
 }
 
+// CanMerge reports whether m still has secondary-miss room, without
+// touching any counter (the pure predicate quiescence checks use).
+func (f *MSHRFile) CanMerge(m *MSHR) bool {
+	return len(m.Targets)-1 < f.maxSecondary
+}
+
 // Free releases the entry for line and returns its merged targets in
-// arrival order. It returns nil when no entry exists.
+// arrival order. It returns nil when no entry exists. The returned
+// slice aliases a recycled entry: it is valid only until the next
+// Allocate on this file (every caller consumes it immediately).
 func (f *MSHRFile) Free(line mem.Addr) []Target {
 	for i, m := range f.entries {
 		if m.Line == line {
 			f.entries = append(f.entries[:i], f.entries[i+1:]...)
+			f.freelist = append(f.freelist, m)
 			return m.Targets
 		}
 	}

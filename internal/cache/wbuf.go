@@ -52,13 +52,15 @@ func (w *WriteBuffer) Add(line mem.Addr, kind mem.Kind) bool {
 	return true
 }
 
-// Pop removes and returns the oldest entry.
+// Pop removes and returns the oldest entry. The shift keeps the (small,
+// bounded) backing array reusable instead of leaking front capacity.
 func (w *WriteBuffer) Pop() (WBEntry, bool) {
 	if len(w.entries) == 0 {
 		return WBEntry{}, false
 	}
 	e := w.entries[0]
-	w.entries = w.entries[1:]
+	copy(w.entries, w.entries[1:])
+	w.entries = w.entries[:len(w.entries)-1]
 	return e, true
 }
 

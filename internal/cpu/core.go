@@ -144,7 +144,7 @@ type Core struct {
 	bpred  *BPred
 
 	// Decode queue between fetch and dispatch.
-	decq []decoded
+	decq sim.Queue[decoded]
 
 	// ROB is a ring of in-flight ops; seq of head entry = headSeq.
 	rob     []robEntry
@@ -158,7 +158,7 @@ type Core struct {
 	lsqCount int
 
 	// Store buffer: committed stores draining to the cache.
-	storeBuf []mem.Addr
+	storeBuf sim.Queue[mem.Addr]
 
 	// Fetch gating after a mispredicted branch.
 	fetchResumeAt sim.Cycle
@@ -173,6 +173,12 @@ type Core struct {
 
 	streamDone bool
 	maxInstr   uint64
+
+	// Quiescence bookkeeping: which per-cycle stall counters an idle
+	// cycle increments, recorded by NextEvent and applied by SkipTo.
+	skipSB           bool
+	skipStall        *uint64
+	skipFetchBlocked bool
 
 	// Stats.
 	Committed, Cycles                   uint64
@@ -246,7 +252,7 @@ func (c *Core) Eval(k *sim.Kernel) {
 	c.issue(now)
 	c.dispatch(now)
 	c.fetch(now)
-	if c.streamDone && c.robOccupancy() == 0 && len(c.decq) == 0 {
+	if c.streamDone && c.robOccupancy() == 0 && c.decq.Len() == 0 {
 		k.Stop()
 	}
 }
@@ -287,11 +293,11 @@ func (c *Core) commit(now sim.Cycle, k *sim.Kernel) {
 			return
 		}
 		if e.op.Class == ClassStore {
-			if len(c.storeBuf) >= c.cfg.StoreBufSize {
+			if c.storeBuf.Len() >= c.cfg.StoreBufSize {
 				c.StallSBFull++
 				return
 			}
-			c.storeBuf = append(c.storeBuf, e.op.Addr)
+			c.storeBuf.Push(e.op.Addr)
 			c.StoresCommitted++
 			c.lsqCount--
 		}
@@ -309,11 +315,10 @@ func (c *Core) commit(now sim.Cycle, k *sim.Kernel) {
 
 // drainStoreBuffer sends one committed store per cycle to the cache.
 func (c *Core) drainStoreBuffer(now sim.Cycle) {
-	if len(c.storeBuf) == 0 || !c.port.Down.CanPush() {
+	if c.storeBuf.Len() == 0 || !c.port.Down.CanPush() {
 		return
 	}
-	addr := c.storeBuf[0]
-	c.storeBuf = c.storeBuf[1:]
+	addr, _ := c.storeBuf.Pop()
 	c.port.Down.Push(&mem.Req{ID: c.ids.Next(), Addr: addr, Kind: mem.Write, Issued: now})
 }
 
@@ -413,12 +418,12 @@ func (c *Core) issue(now sim.Cycle) {
 
 // dispatch moves decoded ops into the ROB and issue queues.
 func (c *Core) dispatch(now sim.Cycle) {
-	for len(c.decq) > 0 {
+	for c.decq.Len() > 0 {
 		if c.robOccupancy() >= c.cfg.ROBSize {
 			c.StallROBFull++
 			return
 		}
-		op := c.decq[0].op
+		op := c.decq.Front().op
 		var q *[]uint64
 		var limit int
 		switch op.Class {
@@ -437,8 +442,7 @@ func (c *Core) dispatch(now sim.Cycle) {
 			c.StallIQFull++
 			return
 		}
-		dec := c.decq[0]
-		c.decq = c.decq[1:]
+		dec, _ := c.decq.Pop()
 		seq := c.tailSeq
 		c.tailSeq++
 		*c.robAt(seq) = robEntry{op: op, seq: seq, dispatched: now, mispredict: dec.mispredict}
@@ -469,7 +473,7 @@ func (c *Core) fetch(now sim.Cycle) {
 	}
 	taken := 0
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.decq) >= c.cfg.DecodeQueue {
+		if c.decq.Len() >= c.cfg.DecodeQueue {
 			return
 		}
 		op, ok := c.stream.Next()
@@ -486,7 +490,7 @@ func (c *Core) fetch(now sim.Cycle) {
 				c.fetchBlocked = true
 			}
 		}
-		c.decq = append(c.decq, dec)
+		c.decq.Push(dec)
 		if dec.mispredict {
 			return
 		}
@@ -499,12 +503,144 @@ func (c *Core) fetch(now sim.Cycle) {
 	}
 }
 
+// NextEvent implements sim.Quiescent. The core is idle when no response
+// is visible, nothing can retire, issue, dispatch, drain or fetch this
+// cycle; its timed wakes are completion times of done-but-unretired or
+// dependency-producing ops, issue eligibility (dispatched+1), and the
+// post-misprediction fetch resume. Blocked phases that tick a stall
+// counter every cycle (store buffer full, dispatch stalls, gated fetch)
+// are recorded for SkipTo.
+func (c *Core) NextEvent(now sim.Cycle) (sim.Cycle, bool) {
+	if c.port.Up.Len() > 0 {
+		return 0, false // a response would be drained
+	}
+	if c.streamDone && c.robOccupancy() == 0 && c.decq.Len() == 0 {
+		return 0, false // Eval must run to Stop the kernel
+	}
+	wake := sim.Never
+	c.skipSB = false
+	c.skipStall = nil
+	c.skipFetchBlocked = false
+
+	// Commit: can the head retire, and if not, when could it?
+	if c.robOccupancy() > 0 {
+		e := c.robAt(c.headSeq)
+		if e.done {
+			if e.doneAt <= now {
+				if e.op.Class == ClassStore && c.storeBuf.Len() >= c.cfg.StoreBufSize {
+					c.skipSB = true // StallSBFull ticks every blocked cycle
+				} else {
+					return 0, false
+				}
+			} else if e.doneAt < wake {
+				wake = e.doneAt
+			}
+		}
+		// !e.done: an in-flight load (external) or an un-issued op
+		// (covered by the issue-queue scan below).
+	}
+
+	// Store buffer drain.
+	if c.storeBuf.Len() > 0 && c.port.Down.CanPush() {
+		return 0, false
+	}
+
+	// Dispatch: would the decode-queue head move into the ROB?
+	if c.decq.Len() > 0 {
+		switch op := c.decq.Front().op; {
+		case c.robOccupancy() >= c.cfg.ROBSize:
+			c.skipStall = &c.StallROBFull
+		case (op.Class == ClassLoad || op.Class == ClassStore) && c.lsqCount >= c.cfg.LSQSize:
+			c.skipStall = &c.StallLSQ
+		case op.Class == ClassFP && len(c.fpQ) >= c.cfg.FPIQ,
+			(op.Class == ClassLoad || op.Class == ClassStore) && len(c.memQ) >= c.cfg.MemIQ,
+			op.Class != ClassFP && op.Class != ClassLoad && op.Class != ClassStore && len(c.intQ) >= c.cfg.IntIQ:
+			c.skipStall = &c.StallIQFull
+		default:
+			return 0, false // the head would dispatch
+		}
+	}
+
+	// Fetch.
+	if !c.streamDone {
+		if c.fetchBlocked {
+			c.skipFetchBlocked = true // resolves when the branch issues
+		} else if now < c.fetchResumeAt {
+			c.skipFetchBlocked = true
+			if c.fetchResumeAt < wake {
+				wake = c.fetchResumeAt
+			}
+		} else if c.decq.Len() < c.cfg.DecodeQueue {
+			return 0, false // would fetch
+		}
+	}
+
+	// Issue queues: the expensive scan last. An op is issuable at
+	// max(dispatched+1, producers' doneAt); in-flight producers mean an
+	// external wake (the response drain is an active cycle).
+	for _, q := range [3][]uint64{c.memQ, c.intQ, c.fpQ} {
+		for _, seq := range q {
+			e := c.robAt(seq)
+			t := e.dispatched + 1
+			external := false
+			for _, d := range [2]int32{e.op.Dep1, e.op.Dep2} {
+				if d <= 0 || uint64(d) > seq {
+					continue
+				}
+				p := seq - uint64(d)
+				if p < c.headSeq {
+					continue // producer already committed
+				}
+				pe := c.robAt(p)
+				if !pe.done {
+					external = true // waiting on an in-flight load
+					break
+				}
+				if pe.doneAt > t {
+					t = pe.doneAt
+				}
+			}
+			if external {
+				continue
+			}
+			if t <= now {
+				// Ready now: everything but a load blocked on a full
+				// memory port (and with no forwarding hit) executes.
+				if e.op.Class != ClassLoad || c.storeForward(e.op.Addr) || c.port.Down.CanPush() {
+					return 0, false
+				}
+				continue
+			}
+			if t < wake {
+				wake = t
+			}
+		}
+	}
+	return wake, true
+}
+
+// SkipTo implements sim.Quiescent: apply the arithmetic bookkeeping of
+// the skipped idle cycles.
+func (c *Core) SkipTo(now, target sim.Cycle) {
+	delta := uint64(target - now)
+	c.Cycles += delta
+	if c.skipSB {
+		c.StallSBFull += delta
+	}
+	if c.skipStall != nil {
+		*c.skipStall += delta
+	}
+	if c.skipFetchBlocked {
+		c.FetchBlockedCycles += delta
+	}
+}
+
 // storeForward reports whether an older store to the same line can
 // forward (store buffer or in-flight LSQ stores).
 func (c *Core) storeForward(a mem.Addr) bool {
 	line := a.Line(32)
-	for _, s := range c.storeBuf {
-		if s.Line(32) == line {
+	for i := 0; i < c.storeBuf.Len(); i++ {
+		if c.storeBuf.At(i).Line(32) == line {
 			return true
 		}
 	}

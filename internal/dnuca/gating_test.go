@@ -1,0 +1,88 @@
+package dnuca
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// blockedHead builds a D-NUCA whose upstream head read is permanently
+// stalled: the MSHR is saturated by a miss that memory never answers.
+// With secondary == 0 and the second read aimed at the same line, the
+// head blocks on a merge reject; aimed at a different line, it blocks
+// on a full MSHR. Both states re-run acceptRead — and count a read —
+// every ungated cycle, which is exactly what SkipTo must replay.
+func blockedHead(t *testing.T, sameLine bool) (*DNUCA, *sim.Kernel, *mem.Port) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.MSHREntries = 1
+	cfg.MSHRSecondary = 0
+	up := mem.NewPort(8, 8)
+	down := mem.NewPort(8, 8)
+	var ids mem.IDSource
+	d, err := New(cfg, up, down, &ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	k.SetGating(false)
+	k.MustRegister(d)
+
+	up.Down.Push(&mem.Req{ID: 1, Addr: 0x10000, Kind: mem.Read})
+	up.Down.Tick()
+	k.Run(300) // search multicasts, all banks nack, fetch leaves; DRAM never answers
+
+	second := mem.Addr(0x50000)
+	if sameLine {
+		second = 0x10000
+	}
+	up.Down.Push(&mem.Req{ID: 2, Addr: second, Kind: mem.Read})
+	up.Down.Tick()
+	k.Run(20) // settle into the blocked-head steady state
+	return d, k, up
+}
+
+// TestSkipToReplaysBlockedReadHead: N idle Evals of a blocked read head
+// and one SkipTo over N cycles must move every counter identically —
+// including the per-cycle Reads re-count of the retried acceptRead.
+// (Regression: SkipTo used to drop those reads, so gated and ungated
+// dn.reads diverged in exactly the DRAM-stall state gating targets.)
+func TestSkipToReplaysBlockedReadHead(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		sameLine bool
+	}{
+		{"mshr-full", false},
+		{"merge-reject", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 100
+			stepped, sk, _ := blockedHead(t, tc.sameLine)
+			skipped, kk, _ := blockedHead(t, tc.sameLine)
+			if stepped.Reads != skipped.Reads || stepped.mshr.MergeRejects != skipped.mshr.MergeRejects {
+				t.Fatalf("twins diverged before the experiment")
+			}
+
+			sk.Run(n) // ungated: n real Evals of the blocked head
+
+			now := kk.Cycle()
+			wake, idle := skipped.NextEvent(now)
+			if !idle {
+				t.Fatalf("blocked head not classified idle (wake %d)", wake)
+			}
+			skipped.SkipTo(now, now+n)
+
+			if stepped.Reads != skipped.Reads {
+				t.Errorf("Reads: %d stepped vs %d skipped over %d cycles", stepped.Reads, skipped.Reads, n)
+			}
+			if stepped.mshr.MergeRejects != skipped.mshr.MergeRejects {
+				t.Errorf("MergeRejects: %d stepped vs %d skipped", stepped.mshr.MergeRejects, skipped.mshr.MergeRejects)
+			}
+			if stepped.ReadHits != skipped.ReadHits || stepped.ReadMisses != skipped.ReadMisses {
+				t.Errorf("hit/miss counters diverged: %d/%d vs %d/%d",
+					stepped.ReadHits, stepped.ReadMisses, skipped.ReadHits, skipped.ReadMisses)
+			}
+		})
+	}
+}

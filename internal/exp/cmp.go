@@ -22,6 +22,11 @@ type MixSpec struct {
 	Kind       hier.Kind
 	Levels     int      // L-NUCA levels where applicable
 	Benchmarks []string // one per core
+
+	// Ungated / ShuffleRegistration mirror Spec's fields: result-neutral
+	// kernel knobs the equivalence tests cross-product over.
+	Ungated             bool
+	ShuffleRegistration uint64
 }
 
 // Label renders the configuration name ("4x LN3-144KB").
@@ -69,8 +74,10 @@ func RunMixCtx(ctx context.Context, spec MixSpec, mode Mode, seed uint64, progre
 		return res
 	}
 	sys, err := hier.BuildCMP(spec.Kind, profs, hier.CMPOptions{
-		LNUCALevels: spec.Levels,
-		Seed:        seed,
+		LNUCALevels:         spec.Levels,
+		Seed:                seed,
+		ShuffleRegistration: spec.ShuffleRegistration,
+		Ungated:             spec.Ungated,
 	})
 	if err != nil {
 		res.Err = err

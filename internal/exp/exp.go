@@ -35,6 +35,14 @@ var Full = Mode{Name: "full", Warmup: 40_000, Measure: 200_000}
 type Spec struct {
 	Kind   hier.Kind
 	Levels int // L-NUCA levels where applicable
+
+	// Ungated forces plain lockstep stepping (no quiescence
+	// fast-forward) and ShuffleRegistration permutes kernel registration
+	// order. Neither changes results — the gating-equivalence tests pin
+	// bit-identical statistics across the whole cross-product — so
+	// neither is part of a job's content identity.
+	Ungated             bool
+	ShuffleRegistration uint64
 }
 
 // Label renders the configuration name used in the paper.
@@ -83,9 +91,11 @@ func RunOneCtx(ctx context.Context, spec Spec, prof workload.Profile, mode Mode,
 	res := Result{Spec: spec, Bench: prof}
 	total := mode.Warmup + mode.Measure
 	sys, err := hier.Build(spec.Kind, prof, hier.Options{
-		LNUCALevels: spec.Levels,
-		Seed:        seed,
-		MaxInstr:    total,
+		LNUCALevels:         spec.Levels,
+		Seed:                seed,
+		MaxInstr:            total,
+		ShuffleRegistration: spec.ShuffleRegistration,
+		Ungated:             spec.Ungated,
 	})
 	if err != nil {
 		res.Err = err

@@ -1,0 +1,64 @@
+package hier
+
+// Steady-state allocation benchmarks: one op = one ungated kernel Step
+// of a fully-built system, so the allocs/op column reads directly as
+// allocs/cycle. The hot cycle loop reuses ring buffers, hoisted scratch
+// and MSHR freelists; after warmup the per-cycle allocation rate must
+// sit at ~0 for every hierarchy (the occasional residue is queue-ring
+// growth on a new high-water mark). CI records these in BENCH_sim.json
+// so allocation regressions in the cycle loop are visible per PR.
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func benchSystem(b *testing.B, kind Kind) *System {
+	b.Helper()
+	prof, ok := workload.ByName("429.mcf")
+	if !ok {
+		b.Fatal("missing 429.mcf")
+	}
+	sys, err := Build(kind, prof, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Prewarm()
+	// Reach steady state: queues, rings and MSHR freelists at their
+	// high-water marks.
+	sys.Run(100_000)
+	return sys
+}
+
+// BenchmarkStepAllocs pins the per-cycle allocation rate of the full
+// cycle loop (Eval+Commit of every component), per hierarchy.
+func BenchmarkStepAllocs(b *testing.B) {
+	for _, kind := range []Kind{Conventional, LNUCAL3, DNUCAOnly, LNUCADNUCA} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			sys := benchSystem(b, kind)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Kernel.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkGatedCycleAllocs is the same loop through the gated Run path
+// (poll + active-set stepping + fast-forward), confirming the gating
+// machinery itself allocates nothing per cycle.
+func BenchmarkGatedCycleAllocs(b *testing.B) {
+	sys := benchSystem(b, LNUCAL3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	ran := sys.Run(uint64(b.N))
+	b.StopTimer()
+	if ran == 0 {
+		b.Fatal("no cycles ran")
+	}
+	b.ReportMetric(100*float64(sys.Kernel.SkippedCycles)/float64(sys.Kernel.Cycle()),
+		"skipped_pct")
+}

@@ -49,6 +49,9 @@ type CMPOptions struct {
 	// two-phase kernel guarantees order independence — so tests use this
 	// to prove the CMP wiring keeps that property.
 	ShuffleRegistration uint64
+	// Ungated disables the kernel's quiescence fast-forward (see
+	// Options.Ungated); results are bit-identical either way.
+	Ungated bool
 }
 
 // CMPSystem is one fully-wired multi-core machine.
@@ -189,18 +192,8 @@ func BuildCMP(kind Kind, profs []workload.Profile, opt CMPOptions) (*CMPSystem, 
 	s.Memory = mem.NewMainMemory("dram", mem.DefaultMainMemoryConfig(), memPort)
 	comps = append(comps, s.Memory)
 
-	if opt.ShuffleRegistration != 0 {
-		perm := make([]int, len(comps))
-		sim.NewRand(opt.ShuffleRegistration).Perm(perm)
-		shuffled := make([]sim.Component, len(comps))
-		for i, j := range perm {
-			shuffled[i] = comps[j]
-		}
-		comps = shuffled
-	}
-	for _, c := range comps {
-		s.Kernel.MustRegister(c)
-	}
+	registerAll(s.Kernel, comps, opt.ShuffleRegistration)
+	s.Kernel.SetGating(!opt.Ungated)
 	return s, nil
 }
 

@@ -1,0 +1,36 @@
+package hier
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestFastForwardEngages proves the quiescence protocol actually fires
+// on every hierarchy: a memory-bound window must spend a substantial
+// share of its cycles fast-forwarded, not stepped. (Bit-identity of the
+// results is pinned separately by the exp-level equivalence tests.)
+func TestFastForwardEngages(t *testing.T) {
+	prof, ok := workload.ByName("429.mcf")
+	if !ok {
+		t.Fatal("missing 429.mcf")
+	}
+	for _, kind := range []Kind{Conventional, LNUCAL3, DNUCAOnly, LNUCADNUCA} {
+		sys, err := Build(kind, prof, Options{Seed: 3, MaxInstr: 30_000})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		sys.Prewarm()
+		ran := sys.Run(2_000_000)
+		k := sys.Kernel
+		if k.SkippedCycles == 0 {
+			t.Errorf("%s: ran %d cycles without a single fast-forwarded cycle", kind, ran)
+		}
+		if k.FastForwards == 0 {
+			t.Errorf("%s: no bulk clock advance happened", kind)
+		}
+		pct := 100 * float64(k.SkippedCycles) / float64(ran)
+		t.Logf("%s: %d cycles, %.1f%% fast-forwarded in %d jumps, %d idle Evals skipped",
+			kind, ran, pct, k.FastForwards, k.EvalsSkipped)
+	}
+}

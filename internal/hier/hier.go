@@ -81,6 +81,15 @@ type Options struct {
 	// MaxInstr bounds committed instructions (the paper runs 100M after
 	// warmup; scaled-down runs preserve the shape).
 	MaxInstr uint64
+	// ShuffleRegistration, when non-zero, registers components with the
+	// kernel in a seeded permuted order. Results must not change — the
+	// two-phase kernel guarantees order independence — so tests use this
+	// to prove the wiring keeps that property.
+	ShuffleRegistration uint64
+	// Ungated disables the kernel's quiescence fast-forward, forcing
+	// plain lockstep stepping. Results are bit-identical either way;
+	// the gating-equivalence tests and benchmarks use it.
+	Ungated bool
 }
 
 // System is one fully-wired simulated machine.
@@ -188,7 +197,7 @@ func Build(kind Kind, prof workload.Profile, opt Options) (*System, error) {
 		coreCfg = cpu.DefaultConfig()
 	}
 	s.Core = cpu.New("core", coreCfg, gen, cpuPort, &s.ids, opt.MaxInstr)
-	s.Kernel.MustRegister(s.Core)
+	comps := []sim.Component{s.Core}
 
 	memPort := mem.NewPort(8, 8)
 	switch kind {
@@ -198,9 +207,7 @@ func Build(kind Kind, prof workload.Profile, opt Options) (*System, error) {
 		s.L1 = cache.NewController(l1Config(), cpuPort, l1l2, &s.ids)
 		s.L2 = cache.NewController(l2Config(), l1l2, l2l3, &s.ids)
 		s.L3 = cache.NewController(l3Config(), l2l3, memPort, &s.ids)
-		s.Kernel.MustRegister(s.L1)
-		s.Kernel.MustRegister(s.L2)
-		s.Kernel.MustRegister(s.L3)
+		comps = append(comps, s.L1, s.L2, s.L3)
 	case LNUCAL3:
 		lnl3 := mem.NewPort(8, 8)
 		fcfg := lnuca.DefaultConfig(opt.LNUCALevels)
@@ -210,8 +217,7 @@ func Build(kind Kind, prof workload.Profile, opt Options) (*System, error) {
 			return nil, err
 		}
 		s.L3 = cache.NewController(l3Config(), lnl3, memPort, &s.ids)
-		s.Kernel.MustRegister(s.Fabric)
-		s.Kernel.MustRegister(s.L3)
+		comps = append(comps, s.Fabric, s.L3)
 	case DNUCAOnly:
 		l1dn := mem.NewPort(8, 8)
 		s.L1 = cache.NewController(l1Config(), cpuPort, l1dn, &s.ids)
@@ -219,8 +225,7 @@ func Build(kind Kind, prof workload.Profile, opt Options) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.Kernel.MustRegister(s.L1)
-		s.Kernel.MustRegister(s.DN)
+		comps = append(comps, s.L1, s.DN)
 	case LNUCADNUCA:
 		lndn := mem.NewPort(8, 8)
 		fcfg := lnuca.DefaultConfig(opt.LNUCALevels)
@@ -233,14 +238,33 @@ func Build(kind Kind, prof workload.Profile, opt Options) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.Kernel.MustRegister(s.Fabric)
-		s.Kernel.MustRegister(s.DN)
+		comps = append(comps, s.Fabric, s.DN)
 	default:
 		return nil, fmt.Errorf("hier: unknown kind %d", kind)
 	}
 	s.Memory = mem.NewMainMemory("dram", mem.DefaultMainMemoryConfig(), memPort)
-	s.Kernel.MustRegister(s.Memory)
+	comps = append(comps, s.Memory)
+	registerAll(s.Kernel, comps, opt.ShuffleRegistration)
+	s.Kernel.SetGating(!opt.Ungated)
 	return s, nil
+}
+
+// registerAll registers comps with the kernel, in a seeded permuted
+// order when shuffle is non-zero (results must be order-independent; the
+// equivalence tests prove it).
+func registerAll(k *sim.Kernel, comps []sim.Component, shuffle uint64) {
+	if shuffle != 0 {
+		perm := make([]int, len(comps))
+		sim.NewRand(shuffle).Perm(perm)
+		shuffled := make([]sim.Component, len(comps))
+		for i, j := range perm {
+			shuffled[i] = comps[j]
+		}
+		comps = shuffled
+	}
+	for _, c := range comps {
+		k.MustRegister(c)
+	}
 }
 
 // Prewarm performs functional warmup: it installs the workload's hot,

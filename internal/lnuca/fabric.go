@@ -139,18 +139,22 @@ type Fabric struct {
 	allD []*dlink
 	allU []*ulink
 
-	searchQ     []searchMsg
+	searchQ     sim.Queue[searchMsg]
 	launchedNow bool
 	retryQ      []retryEntry
-	gmQ         []gmEntry
+	gmQ         sim.Queue[gmEntry]
 	votes       []voteRec
 	lastLevelN  int
 
-	pendingResp []*mem.Resp
-	toL3Q       []*mem.Req
+	pendingResp sim.Queue[*mem.Resp]
+	toL3Q       sim.Queue[*mem.Req]
 	// storeQ absorbs CPU stores like a conventional L1 write queue, so
 	// loads never wait behind store bursts at the port.
-	storeQ []*mem.Req
+	storeQ sim.Queue[*mem.Req]
+
+	// Quiescence bookkeeping: per-cycle counter increments of blocked
+	// idle states, recorded by NextEvent and applied by SkipTo.
+	skipNoVictim, skipMSHRFull, skipMergeRejects, skipBlockedReads uint64
 
 	C Counters
 }
@@ -375,14 +379,13 @@ func (f *Fabric) evalGlobalMiss(now sim.Cycle) {
 			}})
 			continue
 		}
-		f.gmQ = append(f.gmQ, gmEntry{readyAt: now + 1, msg: v.msg})
+		f.gmQ.Push(gmEntry{readyAt: now + 1, msg: v.msg})
 	}
 	f.votes = f.votes[:0]
 
 	// Mature global misses: decide fetch vs forwarded write miss.
-	for len(f.gmQ) > 0 && f.gmQ[0].readyAt <= now {
-		g := f.gmQ[0]
-		f.gmQ = f.gmQ[1:]
+	for f.gmQ.Len() > 0 && f.gmQ.Front().readyAt <= now {
+		g, _ := f.gmQ.Pop()
 		f.C.GlobalMisses++
 		m := f.mshr.Lookup(g.msg.line)
 		if m == nil {
@@ -401,11 +404,11 @@ func (f *Fabric) evalGlobalMiss(now sim.Cycle) {
 				f.mshr.Free(g.msg.line)
 			} else {
 				// Retry when the write buffer has drained.
-				f.gmQ = append(f.gmQ, gmEntry{readyAt: now + 1, msg: g.msg})
+				f.gmQ.Push(gmEntry{readyAt: now + 1, msg: g.msg})
 			}
 			continue
 		}
-		f.toL3Q = append(f.toL3Q, &mem.Req{
+		f.toL3Q.Push(&mem.Req{
 			ID: f.ids.Next(), Addr: g.msg.line, Kind: mem.Read, Issued: now,
 		})
 	}
@@ -617,16 +620,14 @@ func (f *Fabric) evalRTile(now sim.Cycle) {
 	f.drainStores(now)
 
 	// Launch one search per cycle.
-	if !f.launchedNow && len(f.searchQ) > 0 {
-		msg := f.searchQ[0]
-		f.searchQ = f.searchQ[1:]
+	if !f.launchedNow && f.searchQ.Len() > 0 {
+		msg, _ := f.searchQ.Pop()
 		f.launchSearch(msg)
 	}
 
 	// Deliver responses generated this cycle (and any backlog).
-	for len(f.pendingResp) > 0 && f.up.Up.CanPush() {
-		r := f.pendingResp[0]
-		f.pendingResp = f.pendingResp[1:]
+	for f.pendingResp.Len() > 0 && f.up.Up.CanPush() {
+		r, _ := f.pendingResp.Pop()
 		r.Done = now
 		f.up.Up.Push(r)
 	}
@@ -660,7 +661,7 @@ func (f *Fabric) fillRTile(now sim.Cycle, blk blockMsg) bool {
 	f.C.RTileFills++
 	for _, tg := range targets {
 		if tg.Kind == mem.Read {
-			f.pendingResp = append(f.pendingResp, &mem.Resp{ID: tg.ReqID, Addr: line})
+			f.pendingResp.Push(&mem.Resp{ID: tg.ReqID, Addr: line})
 		}
 	}
 	return true
@@ -674,14 +675,14 @@ func (f *Fabric) acceptCPU(now sim.Cycle, req *mem.Req) bool {
 		f.C.RTileReads++
 		if f.rtile.Access(line, false) {
 			f.C.RTileReadHits++
-			f.pendingResp = append(f.pendingResp, &mem.Resp{ID: req.ID, Addr: line})
+			f.pendingResp.Push(&mem.Resp{ID: req.ID, Addr: line})
 			return true
 		}
 		if f.wbuf.Contains(line) {
 			// Pending forwarded write: serve from the buffer.
 			f.C.RTileReadHits++
 			f.C.WBufForwards++
-			f.pendingResp = append(f.pendingResp, &mem.Resp{ID: req.ID, Addr: line})
+			f.pendingResp.Push(&mem.Resp{ID: req.ID, Addr: line})
 			return true
 		}
 		f.C.RTileReadMisses++
@@ -690,10 +691,10 @@ func (f *Fabric) acceptCPU(now sim.Cycle, req *mem.Req) bool {
 		// Absorb into the store queue (the r-tile is "a conventional L1
 		// cache extended with flow control", Section II); the array is
 		// updated as the queue drains.
-		if len(f.storeQ) >= 8 {
+		if f.storeQ.Len() >= 8 {
 			return false
 		}
-		f.storeQ = append(f.storeQ, req)
+		f.storeQ.Push(req)
 		return true
 	}
 	return true
@@ -701,21 +702,21 @@ func (f *Fabric) acceptCPU(now sim.Cycle, req *mem.Req) bool {
 
 // drainStores applies one buffered store per cycle.
 func (f *Fabric) drainStores(now sim.Cycle) {
-	if len(f.storeQ) == 0 {
+	if f.storeQ.Len() == 0 {
 		return
 	}
-	req := f.storeQ[0]
+	req := *f.storeQ.Front()
 	line := req.Addr.Line(f.cfg.RTileBank.BlockBytes)
 	f.C.RTileWrites++
 	if f.rtile.Access(line, true) {
 		// The L-NUCA ensemble is copy-back: the r-tile absorbs the
 		// store; the dirty bit migrates outwards with the block.
 		f.C.RTileWriteHits++
-		f.storeQ = f.storeQ[1:]
+		f.storeQ.Pop()
 		return
 	}
 	if f.missCPU(now, req, line, mem.Write) {
-		f.storeQ = f.storeQ[1:]
+		f.storeQ.Pop()
 	} else {
 		f.C.RTileWrites-- // retried next cycle
 	}
@@ -733,7 +734,7 @@ func (f *Fabric) missCPU(now sim.Cycle, req *mem.Req, line mem.Addr, kind mem.Ki
 	}
 	m := f.mshr.Allocate(line, tg)
 	m.SentDown = true
-	f.searchQ = append(f.searchQ, searchMsg{
+	f.searchQ.Push(searchMsg{
 		line:   line,
 		reqID:  req.ID,
 		isRead: kind == mem.Read,
@@ -761,7 +762,7 @@ func (f *Fabric) evalRetries(now sim.Cycle) {
 		case f.mshr.Lookup(r.msg.line) == nil:
 			// Already satisfied; drop the stale retry.
 		default:
-			f.searchQ = append(f.searchQ, r.msg)
+			f.searchQ.Push(r.msg)
 		}
 	}
 	f.retryQ = kept
@@ -769,15 +770,192 @@ func (f *Fabric) evalRetries(now sim.Cycle) {
 
 // drainOutputs pushes next-level fetches and buffered writes downstream.
 func (f *Fabric) drainOutputs(now sim.Cycle) {
-	for len(f.toL3Q) > 0 && f.down.Down.CanPush() {
-		f.down.Down.Push(f.toL3Q[0])
-		f.toL3Q = f.toL3Q[1:]
+	for f.toL3Q.Len() > 0 && f.down.Down.CanPush() {
+		r, _ := f.toL3Q.Pop()
+		f.down.Down.Push(r)
 	}
 	// One buffered write per cycle, after demand fetches.
 	if e, ok := f.wbuf.Peek(); ok && f.down.Down.CanPush() {
 		f.wbuf.Pop()
 		f.down.Down.Push(&mem.Req{ID: f.ids.Next(), Addr: e.Line, Kind: e.Kind, Issued: now})
 	}
+}
+
+// anyDLinkOn reports whether any Transport output link can accept a
+// message, without drawing from the routing RNG (the pure existence
+// check quiescence uses instead of pickDLink).
+func anyDLinkOn(links []*dlink) bool {
+	for _, l := range links {
+		if l.on() {
+			return true
+		}
+	}
+	return false
+}
+
+// anyULinkOn is anyDLinkOn for Replacement links.
+func anyULinkOn(links []*ulink) bool {
+	for _, l := range links {
+		if l.on() {
+			return true
+		}
+	}
+	return false
+}
+
+// canFillRTile reports whether a block for line could be inserted into
+// the r-tile this cycle (set space, or a victim slot on an On link).
+func (f *Fabric) canFillRTile(line mem.Addr) bool {
+	return f.rtile.HasSpace(line) || anyULinkOn(f.rtUOut)
+}
+
+// missCPUIdle classifies a blocked r-tile miss for line: it returns
+// false when missCPU would make progress (merge or allocate), true when
+// the miss is stuck, recording the per-cycle counters the retry ticks.
+func (f *Fabric) missCPUIdle(line mem.Addr) bool {
+	if m := f.mshr.Lookup(line); m != nil {
+		if f.mshr.CanMerge(m) {
+			return false
+		}
+		f.skipMergeRejects++ // Merge retried (and rejected) every cycle
+		return true
+	}
+	if f.mshr.Full() {
+		f.skipMSHRFull++
+		return true
+	}
+	return false // would allocate and queue a search
+}
+
+// NextEvent implements sim.Quiescent. The fabric is idle only when no
+// search is in flight, no message on any of the three networks can move,
+// no queued launch/retry/global miss is due, and the r-tile can make no
+// progress on CPU requests, stores, fills or responses. Timed wakes come
+// from the retry and global-miss queues; everything else waits on
+// external input. Blocked states that tick counters every cycle (the
+// no-victim-slot stall, MSHR-full stalls, merge rejects, and the blocked
+// read head re-counting rt_reads/rt_read_misses) are recorded for SkipTo.
+func (f *Fabric) NextEvent(now sim.Cycle) (sim.Cycle, bool) {
+	wake := sim.Never
+	f.skipNoVictim, f.skipMSHRFull, f.skipMergeRejects, f.skipBlockedReads = 0, 0, 0, 0
+
+	// A pending search launch or an in-flight search always acts.
+	if f.searchQ.Len() > 0 {
+		return 0, false
+	}
+	for _, t := range f.tiles {
+		if t.ma.Valid() {
+			return 0, false
+		}
+	}
+	// Timed queues.
+	for i := range f.retryQ {
+		switch at := f.retryQ[i].at; {
+		case at <= now:
+			return 0, false
+		case at < wake:
+			wake = at
+		}
+	}
+	if f.gmQ.Len() > 0 {
+		switch r := f.gmQ.Front().readyAt; {
+		case r <= now:
+			return 0, false
+		case r < wake:
+			wake = r
+		}
+	}
+	// Transport forwarding: a buffered message moves when its tile has
+	// any On output (blocked messages wait silently).
+	for _, t := range f.tiles {
+		for _, in := range t.dIn {
+			if in.ch.Len() > 0 && anyDLinkOn(t.dOut) {
+				return 0, false
+			}
+		}
+	}
+	// Replacement: a tile with an incoming block acts when its set has
+	// room or a victim can leave (exit corners drop clean victims and
+	// need write-buffer space for dirty ones).
+	for _, t := range f.tiles {
+		for _, in := range t.uIn {
+			blk, ok := in.peek()
+			if !ok {
+				continue
+			}
+			if t.bank.HasSpace(blk.line) {
+				return 0, false
+			}
+			if t.site.ExitsToNextLevel {
+				v, full := t.bank.VictimFor(blk.line)
+				if !full || !v.Dirty || !f.wbuf.Full() {
+					return 0, false
+				}
+			} else if anyULinkOn(t.uOut) {
+				return 0, false
+			}
+		}
+	}
+	// R-tile arrivals: Transport deliveries and L3 fills; each blocked
+	// head ticks the no-victim-slot stall once per cycle.
+	for _, in := range f.rtDIn {
+		m, ok := in.ch.Peek()
+		if !ok {
+			continue
+		}
+		if f.canFillRTile(m.blk.line) {
+			return 0, false
+		}
+		f.skipNoVictim++
+	}
+	if resp, ok := f.down.Up.Peek(); ok {
+		if f.canFillRTile(resp.Addr.Line(f.cfg.RTileBank.BlockBytes)) {
+			return 0, false
+		}
+		f.skipNoVictim++
+	}
+	// CPU request head.
+	if req, ok := f.up.Down.Peek(); ok {
+		line := req.Addr.Line(f.cfg.RTileBank.BlockBytes)
+		switch req.Kind {
+		case mem.Read:
+			if f.rtile.Probe(line) || f.wbuf.Contains(line) || !f.missCPUIdle(line) {
+				return 0, false
+			}
+			// The blocked read head re-runs its lookup every cycle,
+			// re-counting a read and a read miss.
+			f.skipBlockedReads++
+		default:
+			if f.storeQ.Len() < 8 {
+				return 0, false
+			}
+		}
+	}
+	// Store-queue head.
+	if f.storeQ.Len() > 0 {
+		line := (*f.storeQ.Front()).Addr.Line(f.cfg.RTileBank.BlockBytes)
+		if f.rtile.Probe(line) || !f.missCPUIdle(line) {
+			return 0, false
+		}
+	}
+	// Responses and downstream outputs.
+	if f.pendingResp.Len() > 0 && f.up.Up.CanPush() {
+		return 0, false
+	}
+	if f.down.Down.CanPush() && (f.toL3Q.Len() > 0 || f.wbuf.Len() > 0) {
+		return 0, false
+	}
+	return wake, true
+}
+
+// SkipTo implements sim.Quiescent.
+func (f *Fabric) SkipTo(now, target sim.Cycle) {
+	delta := target - now
+	f.C.StallNoVictimSlot += f.skipNoVictim * delta
+	f.C.StallMSHRFull += f.skipMSHRFull * delta
+	f.mshr.MergeRejects += f.skipMergeRejects * delta
+	f.C.RTileReads += f.skipBlockedReads * delta
+	f.C.RTileReadMisses += f.skipBlockedReads * delta
 }
 
 // MSHROccupancy returns live r-tile MSHR entries (tests).

@@ -101,13 +101,15 @@ func (l *ulink) peek() (blockMsg, bool) {
 	return l.items[0], true
 }
 
-// pop removes the oldest visible block.
+// pop removes the oldest visible block. The shift keeps the (tiny)
+// backing array reusable instead of leaking front capacity.
 func (l *ulink) pop() (blockMsg, bool) {
 	if len(l.items) == 0 {
 		return blockMsg{}, false
 	}
 	b := l.items[0]
-	l.items = l.items[1:]
+	copy(l.items, l.items[1:])
+	l.items = l.items[:len(l.items)-1]
 	return b, true
 }
 

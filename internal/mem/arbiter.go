@@ -38,6 +38,10 @@ type Arbiter struct {
 	next  int            // round-robin priority pointer
 	owner map[uint64]int // request ID -> upstream index, for response routing
 
+	// skipConflicts, set by NextEvent, records that blocked sources must
+	// accrue conflict cycles if the idle round is skipped.
+	skipConflicts bool
+
 	// Stats.
 	Granted []uint64 // requests forwarded, per source
 	// Conflicts counts cycles a source ended with requests still queued
@@ -146,6 +150,44 @@ func (a *Arbiter) Commit(k *sim.Kernel) {
 	a.down.Down.Tick()
 	for _, p := range a.up {
 		p.Up.Tick()
+	}
+}
+
+// NextEvent implements sim.Quiescent. The arbiter has no timed events of
+// its own: it is idle exactly when the head response (if any) cannot be
+// routed and no pending request can be granted. A source left waiting
+// accrues its per-cycle conflict count arithmetically via SkipTo.
+func (a *Arbiter) NextEvent(now sim.Cycle) (sim.Cycle, bool) {
+	if resp, ok := a.down.Up.Peek(); ok {
+		src, known := a.owner[resp.ID]
+		if !known || a.up[src].Up.CanPush() {
+			return 0, false // orphan pop or routable response
+		}
+	}
+	a.skipConflicts = false
+	for i := range a.up {
+		if a.up[i].Down.Len() > 0 {
+			if a.down.Down.CanPush() {
+				return 0, false // a grant would happen
+			}
+			a.skipConflicts = true
+		}
+	}
+	return sim.Never, true
+}
+
+// SkipTo implements sim.Quiescent: sources that sat on queued work
+// through the skipped cycles collect one conflict per cycle, exactly as
+// the per-cycle Eval would have counted.
+func (a *Arbiter) SkipTo(now, target sim.Cycle) {
+	if !a.skipConflicts {
+		return
+	}
+	delta := uint64(target - now)
+	for i := range a.up {
+		if a.up[i].Down.Len() > 0 {
+			a.Conflicts[i] += delta
+		}
 	}
 }
 

@@ -221,7 +221,7 @@ type MainMemory struct {
 	port *Port
 
 	busFreeAt sim.Cycle
-	inFlight  []pendingResp
+	inFlight  sim.Queue[pendingResp]
 
 	// Stats
 	Reads, Writebacks uint64
@@ -256,7 +256,7 @@ func (m *MainMemory) Eval(k *sim.Kernel) {
 				// No response for writebacks.
 			default:
 				m.Reads++
-				m.inFlight = append(m.inFlight, pendingResp{
+				m.inFlight.Push(pendingResp{
 					req:  req,
 					done: now + m.cfg.TransferCycles(),
 				})
@@ -264,9 +264,8 @@ func (m *MainMemory) Eval(k *sim.Kernel) {
 		}
 	}
 	// Deliver matured responses in arrival order, as channel space allows.
-	for len(m.inFlight) > 0 && m.inFlight[0].done <= now && m.port.Up.CanPush() {
-		p := m.inFlight[0]
-		m.inFlight = m.inFlight[1:]
+	for m.inFlight.Len() > 0 && m.inFlight.Front().done <= now && m.port.Up.CanPush() {
+		p, _ := m.inFlight.Pop()
 		m.TotalLatency += uint64(now - p.req.Issued)
 		m.port.Up.Push(&Resp{ID: p.req.ID, Addr: p.req.Addr, Done: now})
 	}
@@ -277,5 +276,35 @@ func (m *MainMemory) Commit(k *sim.Kernel) {
 	m.port.Up.Tick()
 }
 
+// NextEvent implements sim.Quiescent. The memory is idle when no
+// transfer can start (no request, or the wires are busy) and no matured
+// response can be delivered; its timed wakes are the bus release and
+// the oldest in-flight completion.
+func (m *MainMemory) NextEvent(now sim.Cycle) (sim.Cycle, bool) {
+	wake := sim.Never
+	if m.port.Down.Len() > 0 {
+		if m.busFreeAt <= now {
+			return 0, false
+		}
+		wake = m.busFreeAt
+	}
+	if m.inFlight.Len() > 0 {
+		done := m.inFlight.Front().done
+		if done <= now {
+			if m.port.Up.CanPush() {
+				return 0, false
+			}
+			// Blocked on channel space: only the consumer popping
+			// (external activity) unblocks delivery.
+		} else if done < wake {
+			wake = done
+		}
+	}
+	return wake, true
+}
+
+// SkipTo implements sim.Quiescent: idle memory cycles touch no counters.
+func (m *MainMemory) SkipTo(now, target sim.Cycle) {}
+
 // Pending returns the number of fetches in flight (for tests).
-func (m *MainMemory) Pending() int { return len(m.inFlight) }
+func (m *MainMemory) Pending() int { return m.inFlight.Len() }

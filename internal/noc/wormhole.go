@@ -50,7 +50,7 @@ type router struct {
 	// owner[dir][vc] output VC reservations.
 	owner [NumDirs][]outOwner
 	// ejected messages awaiting pickup by the local node.
-	ejectQ []*Message
+	ejectQ sim.Queue[*Message]
 	// rrNext rotates switch-allocation priority for fairness.
 	rrNext int
 }
@@ -87,12 +87,24 @@ type Mesh struct {
 	// injectQ holds messages not yet converted to flits, per node.
 	injectQ [][]*Message
 
+	// Per-Step scratch, hoisted out of the cycle loop so steady-state
+	// stepping allocates nothing.
+	moves    []move
+	takenAll []outTaken
+
+	// ejected counts messages delivered but not yet picked up, so Quiet
+	// is O(1).
+	ejected int
+
 	// Stats
 	MsgsInjected, MsgsDelivered uint64
 	FlitHops                    uint64
 	TotalLatency                uint64
 	TotalHops                   uint64
 }
+
+// outTaken tracks which output ports a router granted this cycle.
+type outTaken struct{ taken [NumDirs]bool }
 
 // NewMesh builds a mesh; it panics on invalid configuration (wiring bug).
 func NewMesh(cfg MeshConfig) *Mesh {
@@ -103,6 +115,7 @@ func NewMesh(cfg MeshConfig) *Mesh {
 	n := cfg.Width * cfg.Height
 	m.routers = make([]*router, n)
 	m.injectQ = make([][]*Message, n)
+	m.takenAll = make([]outTaken, n)
 	for i := range m.routers {
 		r := &router{pos: Coord{i % cfg.Width, i / cfg.Width}}
 		for d := 0; d < NumDirs; d++ {
@@ -146,23 +159,32 @@ func (m *Mesh) Inject(msg *Message, now sim.Cycle) bool {
 	return true
 }
 
-// Eject drains delivered messages at node c.
+// Eject drains delivered messages at node c. It allocates a fresh
+// slice; cycle-loop callers should drain with EjectOne instead.
 func (m *Mesh) Eject(c Coord) []*Message {
 	r := m.at(c)
-	out := r.ejectQ
-	r.ejectQ = nil
-	return out
+	if r.ejectQ.Len() == 0 {
+		return nil
+	}
+	out := make([]*Message, 0, r.ejectQ.Len())
+	for {
+		msg, ok := r.ejectQ.Pop()
+		if !ok {
+			return out
+		}
+		m.ejected--
+		out = append(out, msg)
+	}
 }
 
-// EjectOne pops a single delivered message at node c, if any.
+// EjectOne pops a single delivered message at node c, if any. The
+// queue's ring storage is reused, so draining allocates nothing.
 func (m *Mesh) EjectOne(c Coord) (*Message, bool) {
-	r := m.at(c)
-	if len(r.ejectQ) == 0 {
-		return nil, false
+	msg, ok := m.at(c).ejectQ.Pop()
+	if ok {
+		m.ejected--
 	}
-	msg := r.ejectQ[0]
-	r.ejectQ = r.ejectQ[1:]
-	return msg, true
+	return msg, ok
 }
 
 // move is a staged flit transfer computed during the allocation pass and
@@ -206,10 +228,13 @@ func (m *Mesh) Step(now sim.Cycle) {
 	}
 
 	// Allocation pass: each router picks at most one flit per output
-	// direction, reading only current buffer state.
-	var moves []move
-	type outTaken struct{ taken [NumDirs]bool }
-	takenAll := make([]outTaken, len(m.routers))
+	// direction, reading only current buffer state. The staging slices
+	// live on the Mesh and are reset here, not reallocated.
+	moves := m.moves[:0]
+	takenAll := m.takenAll
+	for i := range takenAll {
+		takenAll[i] = outTaken{}
+	}
 
 	for ri, r := range m.routers {
 		// Round-robin over input (dir, vc) pairs for fairness.
@@ -284,7 +309,8 @@ func (m *Mesh) Step(now sim.Cycle) {
 	// Apply pass.
 	for _, mv := range moves {
 		src := &mv.from.in[mv.fromDir][mv.fromVC]
-		src.buf = src.buf[1:]
+		copy(src.buf, src.buf[1:])
+		src.buf = src.buf[:len(src.buf)-1]
 		m.FlitHops++
 		if mv.to == nil {
 			// Ejection.
@@ -294,7 +320,8 @@ func (m *Mesh) Step(now sim.Cycle) {
 				lat := uint64(now - mv.f.msg.Injected)
 				m.TotalLatency += lat
 				m.TotalHops += uint64(Manhattan(mv.f.msg.Src, mv.f.msg.Dst))
-				m.at(mv.f.msg.Dst).ejectQ = append(m.at(mv.f.msg.Dst).ejectQ, mv.f.msg)
+				m.at(mv.f.msg.Dst).ejectQ.Push(mv.f.msg)
+				m.ejected++
 			}
 		} else {
 			dst := &mv.to.in[mv.toDir][mv.toVC]
@@ -309,6 +336,25 @@ func (m *Mesh) Step(now sim.Cycle) {
 			src.outVC = 0
 			src.outDir = 0
 		}
+	}
+	m.moves = moves[:0]
+}
+
+// Quiet reports whether the mesh holds no traffic at all: nothing
+// staged for injection, no flit buffered in any router, and no ejected
+// message awaiting pickup. A Quiet mesh's Step is a no-op except for
+// the round-robin pointer rotation, which SkipIdle replays.
+func (m *Mesh) Quiet() bool {
+	return m.InFlight() == 0 && m.ejected == 0
+}
+
+// SkipIdle advances every router's round-robin pointer by delta cycles,
+// exactly what delta no-op Steps of a Quiet mesh would have done. The
+// owner of the mesh calls it when it fast-forwards the clock.
+func (m *Mesh) SkipIdle(delta uint64) {
+	total := NumDirs * m.cfg.VCs
+	for _, r := range m.routers {
+		r.rrNext = (r.rrNext + int(delta%uint64(total))) % total
 	}
 }
 

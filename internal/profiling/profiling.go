@@ -1,0 +1,64 @@
+// Package profiling wires the standard runtime/pprof collectors behind
+// the -cpuprofile / -memprofile flags the simulation CLIs share, so perf
+// work on the kernel is measured instead of guessed.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session owns the active profile collectors of one CLI invocation.
+type Session struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// Start begins CPU profiling and/or arms a heap snapshot. Empty paths
+// disable the corresponding profile.
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		s.cpuFile = f
+	}
+	return s, nil
+}
+
+// Stop ends CPU profiling and writes the heap profile, if armed. It is
+// safe to call on a nil session and must run before the process exits
+// for the profiles to be complete.
+func (s *Session) Stop() error {
+	if s == nil {
+		return nil
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		s.cpuFile = nil
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize a settled heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		s.memPath = ""
+	}
+	return nil
+}

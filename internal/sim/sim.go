@@ -14,6 +14,10 @@ import "fmt"
 // Cycle is a simulation timestamp in processor clock cycles.
 type Cycle = uint64
 
+// Never is the sentinel wake cycle of a component that is idle until
+// external input arrives: no timed event of its own will ever wake it.
+const Never = ^Cycle(0)
+
 // Component is a clocked hardware block.
 type Component interface {
 	// Name identifies the component in traces and error messages.
@@ -25,18 +29,74 @@ type Component interface {
 	Commit(k *Kernel)
 }
 
+// Quiescent is the optional activity-gating protocol. A component that
+// implements it lets the kernel skip cycles in which the whole machine
+// is provably doing nothing (e.g. every level stalled on a DRAM access)
+// by bulk-advancing the clock instead of spinning no-op Steps.
+//
+// The contract (see DESIGN.md, "Quiescence and fast-forward"):
+//
+//   - NextEvent(now) returns idle=true only if, absent any new input on
+//     the component's inbound channels, Eval at every cycle in
+//     [now, wake) would change NOTHING except the purely arithmetic
+//     per-cycle bookkeeping that SkipTo replicates (cycle counters,
+//     stall counters). wake may be conservatively early — Eval at wake
+//     runs normally — but never late. Never means "only external input
+//     wakes me".
+//   - NextEvent must not mutate any state that affects simulation
+//     results (in particular it must not draw from seeded RNGs).
+//   - SkipTo(now, target) applies exactly the bookkeeping that
+//     target-now idle Evals would have applied. The kernel calls it
+//     only immediately after a NextEvent poll in which this component
+//     reported idle: for multi-cycle skips every component was idle
+//     (nothing pushes, so nothing new becomes visible); for a
+//     single-cycle Eval skip on a partially-active cycle, the premise
+//     holds because pushes stage until Commit — no input becomes
+//     visible mid-cycle.
+//
+// Because two-phase channels publish pushes only at Commit, a component
+// that is idle at the start of a cycle cannot receive mid-cycle input;
+// all-idle rounds are therefore sound to skip, and gated and ungated
+// runs produce bit-identical statistics.
+type Quiescent interface {
+	Component
+	NextEvent(now Cycle) (wake Cycle, idle bool)
+	SkipTo(now, target Cycle)
+}
+
 // Kernel owns the clock and the component list.
 type Kernel struct {
 	cycle      Cycle
 	components []Component
+	quiescent  []Quiescent
 	names      map[string]bool
 	stopped    bool
+	gating     bool
+
+	// idle is the per-poll active-set scratch, reused across cycles.
+	idle []bool
+
+	// FastForwards counts bulk clock advances; SkippedCycles counts the
+	// cycles they covered (cycles never Stepped); EvalsSkipped counts
+	// single-component Eval skips on partially-active cycles. Exposed
+	// for tests and the MIPS benchmarks.
+	FastForwards, SkippedCycles, EvalsSkipped uint64
 }
 
-// NewKernel returns an empty kernel at cycle 0.
+// NewKernel returns an empty kernel at cycle 0 with activity gating
+// enabled (gating only ever engages when every registered component
+// implements Quiescent).
 func NewKernel() *Kernel {
-	return &Kernel{names: make(map[string]bool)}
+	return &Kernel{names: make(map[string]bool), gating: true}
 }
+
+// SetGating enables or disables the quiescence fast-forward. Disabling
+// it forces plain lockstep stepping; results are bit-identical either
+// way (the equivalence tests pin this).
+func (k *Kernel) SetGating(enabled bool) { k.gating = enabled }
+
+// Gating reports whether fast-forwarding is enabled.
+func (k *Kernel) Gating() bool { return k.gating }
 
 // Register adds a component to the kernel. Registering two components with
 // the same name is an error, caught immediately to keep traces unambiguous.
@@ -49,6 +109,9 @@ func (k *Kernel) Register(c Component) error {
 	}
 	k.names[c.Name()] = true
 	k.components = append(k.components, c)
+	if q, ok := c.(Quiescent); ok {
+		k.quiescent = append(k.quiescent, q)
+	}
 	return nil
 }
 
@@ -81,11 +144,80 @@ func (k *Kernel) Step() {
 }
 
 // Run steps the simulation until Stop is called or maxCycles elapse.
-// It returns the number of cycles executed.
+// It returns the number of cycles executed (stepped or fast-forwarded).
+//
+// When gating is enabled and every registered component implements
+// Quiescent, Run polls the machine before each cycle and keeps an
+// active set:
+//
+//   - all idle with a known earliest wake → the clock bulk-advances to
+//     that wake (clamped to the cycle budget) instead of spinning no-op
+//     Steps;
+//   - some active → only the active components Eval; idle ones apply
+//     their one-cycle arithmetic bookkeeping (SkipTo) and skip the
+//     no-op Eval. Every component still Commits, which keeps the
+//     two-phase channel state (startLen refresh after consumer pops)
+//     exactly as a full Step would.
+//
+// An idle component's Eval is a no-op this cycle even while others are
+// active: pushes stage until Commit, so no input becomes visible
+// mid-cycle. Gated and ungated runs are therefore bit-identical.
 func (k *Kernel) Run(maxCycles uint64) uint64 {
 	start := k.cycle
-	for !k.stopped && k.cycle-start < maxCycles {
-		k.Step()
+	limit := start + maxCycles
+	if limit < start { // budget overflow: run to the end of time
+		limit = Never
+	}
+	if !k.gating || len(k.quiescent) != len(k.components) || len(k.components) == 0 {
+		for !k.stopped && k.cycle < limit {
+			k.Step()
+		}
+		return k.cycle - start
+	}
+	if cap(k.idle) < len(k.quiescent) {
+		k.idle = make([]bool, len(k.quiescent))
+	}
+	idle := k.idle[:len(k.quiescent)]
+	for !k.stopped && k.cycle < limit {
+		now := k.cycle
+		allIdle := true
+		wake := Never
+		for i, q := range k.quiescent {
+			w, ok := q.NextEvent(now)
+			idle[i] = ok
+			if !ok {
+				allIdle = false
+			} else if w < wake {
+				wake = w
+			}
+		}
+		if allIdle && wake > now && wake != Never {
+			// Fast-forward: skip [now, wake) entirely.
+			if wake > limit {
+				wake = limit
+			}
+			for _, q := range k.quiescent {
+				q.SkipTo(now, wake)
+			}
+			k.cycle = wake
+			k.FastForwards++
+			k.SkippedCycles += wake - now
+			continue
+		}
+		// Partial step: Eval the active set, advance the rest by one
+		// arithmetic cycle, Commit everyone.
+		for i, q := range k.quiescent {
+			if idle[i] {
+				q.SkipTo(now, now+1)
+				k.EvalsSkipped++
+			} else {
+				q.Eval(k)
+			}
+		}
+		for _, c := range k.components {
+			c.Commit(k)
+		}
+		k.cycle++
 	}
 	return k.cycle - start
 }

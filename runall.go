@@ -1,0 +1,73 @@
+package lightnuca
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// RunAll executes every request through r with at most parallel
+// concurrent runs (parallel <= 0 defaults to GOMAXPROCS), returning the
+// results in request order. It is the bounded-parallel sweep primitive
+// behind `lnucasweep -j`: each run is internally deterministic, so
+// executing independent sweep points concurrently changes nothing but
+// wall-clock.
+//
+// All requests should flow through one shared Runner: a Local runner
+// coalesces concurrent identical content keys onto a single simulation
+// and serves every later duplicate from its cache, so a sweep whose
+// points overlap (or repeat) still simulates each distinct
+// configuration exactly once.
+//
+// The first error cancels the remaining work and is returned alongside
+// the partial results (entries for failed or canceled requests are zero
+// Results).
+func RunAll(ctx context.Context, r Runner, reqs []Request, parallel int) ([]Result, error) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(reqs) {
+		parallel = len(reqs)
+	}
+	out := make([]Result, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		next     = make(chan int)
+	)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := r.Run(ctx, reqs[i])
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel() // stop handing out work
+					})
+					continue
+				}
+				out[i] = res
+			}
+		}()
+	}
+feed:
+	for i := range reqs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	return out, firstErr
+}

@@ -1,0 +1,78 @@
+package lightnuca_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	lightnuca "repro"
+)
+
+// TestRunAllParallelSweepSharesOneRunner: a bounded-parallel sweep over
+// one shared Local must (a) return results in request order, (b)
+// simulate each distinct content key exactly once even when the sweep
+// repeats points, and (c) agree exactly with a serial execution of the
+// same requests.
+func TestRunAllParallelSweepSharesOneRunner(t *testing.T) {
+	newReqs := func() []lightnuca.Request {
+		var reqs []lightnuca.Request
+		for _, bench := range []string{"403.gcc", "429.mcf"} {
+			for levels := 2; levels <= 4; levels++ {
+				reqs = append(reqs, lightnuca.Request{
+					Hierarchy: "ln+l3", Levels: levels, Benchmark: bench,
+					Warmup: 500, Measure: 2000, Seed: 3,
+				})
+			}
+		}
+		// Duplicate the whole matrix: the shared runner must coalesce or
+		// serve these from cache, never simulate them again.
+		return append(reqs, reqs...)
+	}
+
+	ctx := context.Background()
+	serial := &lightnuca.Local{}
+	want, err := lightnuca.RunAll(ctx, serial, newReqs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parallel := &lightnuca.Local{}
+	got, err := lightnuca.RunAll(ctx, parallel, newReqs(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key != want[i].Key || got[i].IPC != want[i].IPC || got[i].Cycles != want[i].Cycles {
+			t.Errorf("result %d diverged: key %s ipc %v cycles %d, want key %s ipc %v cycles %d",
+				i, got[i].Key, got[i].IPC, got[i].Cycles, want[i].Key, want[i].IPC, want[i].Cycles)
+		}
+	}
+	fresh := 0
+	for _, r := range got {
+		if !r.Cached {
+			fresh++
+		}
+	}
+	if fresh != 6 {
+		t.Errorf("parallel sweep freshly simulated %d points, want 6 (duplicates must coalesce or hit the shared cache)", fresh)
+	}
+}
+
+// TestRunAllFirstErrorCancels: a failing request aborts the sweep and
+// surfaces its error.
+func TestRunAllFirstErrorCancels(t *testing.T) {
+	reqs := []lightnuca.Request{
+		{Hierarchy: "ln+l3", Benchmark: "403.gcc", Warmup: 500, Measure: 2000},
+		{Hierarchy: "ln+l3", Benchmark: "no-such-benchmark", Warmup: 500, Measure: 2000},
+	}
+	_, err := lightnuca.RunAll(context.Background(), &lightnuca.Local{}, reqs, 2)
+	if err == nil {
+		t.Fatal("want an error for the unknown benchmark")
+	}
+	if got := fmt.Sprint(err); got == "" {
+		t.Fatal("empty error")
+	}
+}
