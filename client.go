@@ -61,19 +61,28 @@ func (c *Client) pollInterval() time.Duration {
 // {"error": ...} envelope into the returned error.
 func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
 	var body io.Reader
+	contentType := ""
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("lightnuca: marshal %s %s: %w", method, path, err)
 		}
 		body = bytes.NewReader(b)
+		contentType = "application/json"
 	}
+	return c.doRaw(ctx, method, path, body, contentType, out)
+}
+
+// doRaw is the transport under do: an arbitrary request body (nil for
+// none), the service's error envelope decoded into APIError on non-2xx,
+// and the response decoded into out when non-nil.
+func (c *Client) doRaw(ctx context.Context, method, path string, body io.Reader, contentType string, out interface{}) error {
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return fmt.Errorf("lightnuca: %s %s: %w", method, path, err)
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -132,6 +141,35 @@ func (c *Client) Benchmarks(ctx context.Context) (benchmarks, mixes []string, er
 		return nil, nil, err
 	}
 	return out.Benchmarks, out.Mixes, nil
+}
+
+// UploadTrace posts framed lnuca-trace-v1 bytes (what Trace.Encode or a
+// .lntrace file holds) to the service's content-addressed trace store
+// and returns the decoded provenance header — its ID is what a
+// Request.Trace replay names. Re-uploading the same trace is idempotent.
+func (c *Client) UploadTrace(ctx context.Context, data []byte) (TraceInfo, error) {
+	var hdr TraceInfo
+	err := c.doRaw(ctx, http.MethodPost, "/v1/traces", bytes.NewReader(data), "application/octet-stream", &hdr)
+	return hdr, err
+}
+
+// Traces lists the provenance headers of every trace the service holds.
+func (c *Client) Traces(ctx context.Context) ([]TraceInfo, error) {
+	var out struct {
+		Traces []TraceInfo `json:"traces"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/traces", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
+}
+
+// TraceInfo fetches one stored trace's provenance header by content
+// hash.
+func (c *Client) TraceInfo(ctx context.Context, id string) (TraceInfo, error) {
+	var hdr TraceInfo
+	err := c.do(ctx, http.MethodGet, "/v1/traces/"+url.PathEscape(id), nil, &hdr)
+	return hdr, err
 }
 
 // Submit posts one Request and returns its record immediately — Status
@@ -213,6 +251,7 @@ func (c *Client) Lookup(ctx context.Context, req Request) (Result, bool, error) 
 	set("hierarchy", req.Hierarchy)
 	set("benchmark", req.Benchmark)
 	set("mix", req.Mix)
+	set("trace", req.Trace)
 	set("mode", req.Mode)
 	if req.Levels != 0 {
 		q.Set("levels", strconv.Itoa(req.Levels))

@@ -12,6 +12,11 @@
 // With -cache, results persist across restarts and are shared with the
 // -cache flags of lnucasweep/lnucasim and with lightnuca.Local: any run
 // computed once is never recomputed.
+//
+// The content-addressed trace store (POST/GET /v1/traces; trace-replay
+// jobs name entries by hash) lives next to the result cache: -traces
+// names its directory explicitly, and defaults to <cache>/traces when
+// -cache is set (in-memory otherwise).
 package main
 
 import (
@@ -21,11 +26,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/orchestrator"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -33,11 +40,16 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	cacheDir := flag.String("cache", "", "result cache directory (empty = in-memory only)")
 	cacheCap := flag.Int("cache-entries", 4096, "in-memory result cache capacity")
+	traceDir := flag.String("traces", "", "trace store directory (default: <cache>/traces when -cache is set, else in-memory)")
 	flag.Parse()
 
+	if *traceDir == "" && *cacheDir != "" {
+		*traceDir = filepath.Join(*cacheDir, "traces")
+	}
 	orch := orchestrator.New(orchestrator.Config{
 		Workers: *workers,
 		Cache:   orchestrator.NewCache(*cacheCap, *cacheDir),
+		Traces:  trace.NewStore(*traceDir),
 	})
 	srv := &http.Server{
 		Addr:    *addr,
@@ -46,8 +58,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("lnucad: serving on %s (%d workers, cache %s, request schema %s)\n",
-		*addr, *workers, cacheLabel(*cacheDir), orchestrator.RequestSchema)
+	fmt.Printf("lnucad: serving on %s (%d workers, cache %s, traces %s, request schema %s)\n",
+		*addr, *workers, cacheLabel(*cacheDir), cacheLabel(*traceDir), orchestrator.RequestSchema)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

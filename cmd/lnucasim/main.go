@@ -8,6 +8,12 @@
 // aggregate throughput, and weighted speedup against the single-core
 // baselines.
 //
+// With -record FILE it records one benchmark's run (named by -benches)
+// into a replayable lnuca-trace-v1 file while the normal measurement
+// proceeds; with -trace FILE it replays a recorded trace against -hier
+// instead of generating a workload (see also the dedicated lnucatrace
+// CLI).
+//
 // Examples:
 //
 //	lnucasim -exp table2
@@ -15,6 +21,8 @@
 //	lnucasim -exp all -benches 403.gcc,482.sphinx3
 //	lnucasim -cores 4 -mix mixed -hier ln+l3
 //	lnucasim -cores 2 -mix 429.mcf,470.lbm -hier conventional -seed 3
+//	lnucasim -record perl.lntrace -benches 400.perlbench -hier ln+l3
+//	lnucasim -trace perl.lntrace -hier conventional
 package main
 
 import (
@@ -41,11 +49,19 @@ func main() {
 		mixFlag    = flag.String("mix", "mixed", "CMP workload mix: a named mix ("+strings.Join(workload.MixNames(), "|")+"), 'random', or a comma list of benchmarks")
 		hierFlag   = flag.String("hier", "ln+l3", "CMP hierarchy: conventional, ln+l3, dn-4x8, or ln+dn-4x8")
 		levelsFlag = flag.Int("levels", 3, "L-NUCA levels for CMP L-NUCA hierarchies (2..6)")
-		cacheFlag  = flag.String("cache", "", "result cache directory shared with lnucad/lnucasweep (CMP mode)")
+		cacheFlag  = flag.String("cache", "", "result cache directory shared with lnucad/lnucasweep (CMP and trace modes)")
+		recordFlag = flag.String("record", "", "record the run of the single -benches benchmark into this .lntrace file")
+		traceFlag  = flag.String("trace", "", "replay this .lntrace file against -hier instead of generating a workload")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateTraceFlags(*recordFlag, *traceFlag, *coresFlag, *benchFlag, set); err != nil {
+		fatalf("%v", err)
+	}
 
 	prof, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -64,6 +80,21 @@ func main() {
 		mode = exp.Full
 	} else if *modeFlag != "quick" {
 		fatalf("unknown -mode %q (quick|full)", *modeFlag)
+	}
+
+	if *traceFlag != "" {
+		runTraceReplay(*traceFlag, *hierFlag, *levelsFlag, *cacheFlag)
+		return
+	}
+	if *recordFlag != "" {
+		runRecord(*recordFlag, lightnuca.Request{
+			Hierarchy: *hierFlag,
+			Levels:    *levelsFlag,
+			Benchmark: strings.TrimSpace(*benchFlag),
+			Mode:      *modeFlag,
+			Seed:      *seedFlag,
+		})
+		return
 	}
 
 	if *coresFlag > 0 {
@@ -214,6 +245,76 @@ func runCMPMix(req lightnuca.Request, cacheDir string) {
 	}
 	fmt.Printf("shared-LLC arbiter:   %d grants, %d conflict cycles\n", grants, conflicts)
 	fmt.Printf("content key:          %s\n", res.Key)
+}
+
+// validateTraceFlags rejects contradictory trace-mode flag combinations
+// at parse time, before any file or simulator is touched: recording and
+// replaying are exclusive, both are single-core, a replay's workload,
+// seed and windows come from the trace (not -benches/-seed/-mode), and
+// a recording needs exactly one benchmark to name the trace's
+// provenance. set holds the flags the user passed explicitly — a
+// pinned-by-the-trace flag is only a conflict when actually given, not
+// at its default.
+func validateTraceFlags(record, replay string, cores int, benches string, set map[string]bool) error {
+	switch {
+	case record != "" && replay != "":
+		return fmt.Errorf("-record and -trace are exclusive: a run either captures a stream or replays one")
+	case record != "" && cores > 0:
+		return fmt.Errorf("-record is single-core: drop -cores %d", cores)
+	case replay != "" && cores > 0:
+		return fmt.Errorf("-trace replays are single-core: drop -cores %d", cores)
+	case replay != "" && benches != "":
+		return fmt.Errorf("-trace pins the workload to the recorded benchmark: drop -benches %q", benches)
+	case replay != "" && (set["seed"] || set["mode"]):
+		return fmt.Errorf("-trace replays the recorded seed and windows: drop -seed/-mode")
+	case (record != "" || replay != "") && set["exp"]:
+		return fmt.Errorf("-record/-trace runs one benchmark stream, not -exp experiments: drop -exp")
+	case record != "" && (benches == "" || strings.Contains(benches, ",")):
+		return fmt.Errorf("-record needs exactly one benchmark in -benches, got %q", benches)
+	}
+	return nil
+}
+
+// runRecord records one live single-core run into a trace file.
+func runRecord(path string, req lightnuca.Request) {
+	res, tr, err := lightnuca.Record(context.Background(), req)
+	if err != nil {
+		fatalf("record: %v", err)
+	}
+	data, err := tr.Encode()
+	if err != nil {
+		fatalf("encode: %v", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("recorded %s on %s: IPC %.3f over %d cycles\n", req.Benchmark, res.Config, res.IPC, res.Cycles)
+	fmt.Printf("trace %s: id %s (%d ops, %d bytes)\n", path, tr.ID(), tr.Header.Ops, len(data))
+}
+
+// runTraceReplay replays a trace file against a hierarchy through the
+// shared Local runner (and, with -cache, the shared result store).
+func runTraceReplay(path, hier string, levels int, cacheDir string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tr, err := lightnuca.DecodeTrace(data)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	runner := &lightnuca.Local{CacheDir: cacheDir}
+	id, err := runner.ImportTrace(tr)
+	if err != nil {
+		fatalf("import: %v", err)
+	}
+	res, err := runner.Run(context.Background(), lightnuca.Request{Hierarchy: hier, Levels: levels, Trace: id})
+	if err != nil {
+		fatalf("replay: %v", err)
+	}
+	fmt.Printf("replayed %s (trace %s, seed %d) on %s: IPC %.3f over %d cycles\n",
+		tr.Header.Benchmark, id[:12], tr.Header.Seed, res.Config, res.IPC, res.Cycles)
+	fmt.Printf("content key: %s\n", res.Key)
 }
 
 func fatalf(format string, args ...interface{}) {

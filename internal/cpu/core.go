@@ -188,7 +188,14 @@ type Core struct {
 	StallROBFull, StallIQFull, StallLSQ uint64
 	StallSBFull, FetchBlockedCycles     uint64
 	LoadLatencySum, LoadsCompleted      uint64
+	// LoadLatHist buckets the dispatch-to-complete latency of every load
+	// that went to memory (the same events LoadLatencySum accumulates).
+	LoadLatHist *stats.Histogram
 }
+
+// loadLatBuckets bounds the per-cycle load-latency buckets; DRAM-bound
+// loads beyond it land in the histogram's overflow bucket.
+const loadLatBuckets = 512
 
 // New builds a core reading ops from stream and accessing memory via port.
 // maxInstr bounds the committed instruction count (0 = unbounded).
@@ -207,6 +214,8 @@ func New(name string, cfg Config, stream Stream, port *mem.Port, ids *mem.IDSour
 		loadBySeq: make(map[uint64]uint64),
 		tlb:       make([]uint64, cfg.TLBEntries),
 		maxInstr:  maxInstr,
+
+		LoadLatHist: stats.NewHistogram(loadLatBuckets),
 	}
 	for i := range c.tlb {
 		c.tlb[i] = ^uint64(0)
@@ -281,6 +290,7 @@ func (c *Core) drainResponses(now sim.Cycle) {
 			e.doneAt = now + sim.Cycle(e.tlbExtra)
 			c.LoadLatencySum += uint64(e.doneAt - e.dispatched)
 			c.LoadsCompleted++
+			c.LoadLatHist.Observe(int(e.doneAt - e.dispatched))
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/cpu"
 	"repro/internal/hier"
 	"repro/internal/power"
 	"repro/internal/stats"
@@ -73,7 +74,10 @@ type Result struct {
 	Cycles uint64
 	Stats  *stats.Set
 	Energy power.Breakdown
-	Err    error
+	// LoadLat is the measured window's load-latency histogram
+	// (dispatch-to-complete cycles of loads that went to memory).
+	LoadLat *stats.Histogram
+	Err     error
 }
 
 // RunOne executes a single measurement: build, functional prewarm, timed
@@ -89,18 +93,32 @@ func RunOne(spec Spec, prof workload.Profile, mode Mode, seed uint64) Result {
 // run advances. A cancelled run returns ctx.Err() in Result.Err.
 func RunOneCtx(ctx context.Context, spec Spec, prof workload.Profile, mode Mode, seed uint64, progress func(done, total uint64)) Result {
 	res := Result{Spec: spec, Bench: prof}
-	total := mode.Warmup + mode.Measure
-	sys, err := hier.Build(spec.Kind, prof, hier.Options{
-		LNUCALevels:         spec.Levels,
-		Seed:                seed,
-		MaxInstr:            total,
-		ShuffleRegistration: spec.ShuffleRegistration,
-		Ungated:             spec.Ungated,
-	})
+	sys, err := buildOne(spec, prof, mode, seed, nil)
 	if err != nil {
 		res.Err = err
 		return res
 	}
+	return measureOne(ctx, sys, mode, res, progress)
+}
+
+// buildOne assembles the single-core system a spec describes; stream,
+// when non-nil, replaces the synthetic generator (recording, replay).
+func buildOne(spec Spec, prof workload.Profile, mode Mode, seed uint64, stream cpu.Stream) (*hier.System, error) {
+	return hier.Build(spec.Kind, prof, hier.Options{
+		LNUCALevels:         spec.Levels,
+		Seed:                seed,
+		MaxInstr:            mode.Warmup + mode.Measure,
+		ShuffleRegistration: spec.ShuffleRegistration,
+		Ungated:             spec.Ungated,
+		Stream:              stream,
+	})
+}
+
+// measureOne is the single-core measurement loop shared by live,
+// recording and replay runs: functional prewarm, timed warmup window,
+// then the measured window (delta statistics).
+func measureOne(ctx context.Context, sys *hier.System, mode Mode, res Result, progress func(done, total uint64)) Result {
+	total := mode.Warmup + mode.Measure
 	sys.Prewarm()
 
 	report := func() {
@@ -126,6 +144,7 @@ func RunOneCtx(ctx context.Context, spec Spec, prof workload.Profile, mode Mode,
 	}
 	startStats := sys.Collect()
 	startCycles := sys.Core.Cycles
+	startLoadLat := sys.Core.LoadLatHist.Clone()
 
 	for !sys.Kernel.Stopped() {
 		if err := ctx.Err(); err != nil {
@@ -138,6 +157,7 @@ func RunOneCtx(ctx context.Context, spec Spec, prof workload.Profile, mode Mode,
 	endStats := sys.Collect()
 	res.Stats = stats.Delta(endStats, startStats)
 	res.Cycles = sys.Core.Cycles - startCycles
+	res.LoadLat = sys.Core.LoadLatHist.Delta(startLoadLat)
 	committed := res.Stats.Counter("core.committed")
 	if res.Cycles > 0 {
 		res.IPC = float64(committed) / float64(res.Cycles)

@@ -90,6 +90,12 @@ type Options struct {
 	// plain lockstep stepping. Results are bit-identical either way;
 	// the gating-equivalence tests and benchmarks use it.
 	Ungated bool
+	// Stream, when non-nil, feeds the core instead of a fresh synthetic
+	// generator for prof: the hook the trace subsystem uses to record
+	// (a capturing wrapper around the generator) and to replay (a
+	// recorded trace). prof still selects the functional prewarm, so a
+	// replay warms exactly what the recording run warmed.
+	Stream cpu.Stream
 }
 
 // System is one fully-wired simulated machine.
@@ -186,9 +192,12 @@ func Build(kind Kind, prof workload.Profile, opt Options) (*System, error) {
 		}
 	}
 
-	gen, err := workload.NewGenerator(prof, opt.Seed)
-	if err != nil {
-		return nil, err
+	stream := opt.Stream
+	var err error
+	if stream == nil {
+		if stream, err = workload.NewGenerator(prof, opt.Seed); err != nil {
+			return nil, err
+		}
 	}
 
 	cpuPort := mem.NewPort(8, 8)
@@ -196,7 +205,7 @@ func Build(kind Kind, prof workload.Profile, opt Options) (*System, error) {
 	if coreCfg.FetchWidth == 0 {
 		coreCfg = cpu.DefaultConfig()
 	}
-	s.Core = cpu.New("core", coreCfg, gen, cpuPort, &s.ids, opt.MaxInstr)
+	s.Core = cpu.New("core", coreCfg, stream, cpuPort, &s.ids, opt.MaxInstr)
 	comps := []sim.Component{s.Core}
 
 	memPort := mem.NewPort(8, 8)

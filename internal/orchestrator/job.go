@@ -22,6 +22,7 @@ import (
 	"repro/internal/hier"
 	"repro/internal/power"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -46,8 +47,13 @@ type Job struct {
 	// content that is keyed, so a "random" draw memoizes as the concrete
 	// benchmarks it resolved to.
 	MixBenchmarks []string `json:"mix_benchmarks,omitempty"`
-	Mode          exp.Mode `json:"mode"`
-	Seed          uint64   `json:"seed"`
+	// Trace is a recorded stream's content hash: the job replays it
+	// instead of generating a workload. The hash pins benchmark
+	// provenance, seed and windows, so a trace job carries an empty Mode
+	// and a zero Seed and keys on the hash alone (plus hierarchy).
+	Trace string   `json:"trace,omitempty"`
+	Mode  exp.Mode `json:"mode"`
+	Seed  uint64   `json:"seed"`
 	// Priority orders the queue: higher runs first. It is not part of
 	// the content key.
 	Priority int `json:"priority,omitempty"`
@@ -62,6 +68,9 @@ func (j Job) IsMix() bool { return j.Cores > 1 }
 // catalog, mix resolved to concrete benchmarks, and mode reduced to its
 // window sizes.
 func (j Job) Normalize() (Job, error) {
+	if j.Trace != "" {
+		return j.normalizeTrace()
+	}
 	if j.Seed == 0 {
 		j.Seed = 1
 	}
@@ -92,18 +101,8 @@ func (j Job) Normalize() (Job, error) {
 			return j, fmt.Errorf("orchestrator: unknown benchmark %q", j.Benchmark)
 		}
 	}
-	switch j.Kind {
-	case hier.LNUCAL3, hier.LNUCADNUCA:
-		if j.Levels == 0 {
-			j.Levels = 3
-		}
-		if j.Levels < 2 || j.Levels > 6 {
-			return j, fmt.Errorf("orchestrator: unsupported L-NUCA levels %d", j.Levels)
-		}
-	case hier.Conventional, hier.DNUCAOnly:
-		j.Levels = 0
-	default:
-		return j, fmt.Errorf("orchestrator: unknown hierarchy kind %d", j.Kind)
+	if err := j.normalizeLevels(); err != nil {
+		return j, err
 	}
 	if j.Mode.Warmup == 0 && j.Mode.Measure == 0 {
 		j.Mode = exp.Quick
@@ -117,6 +116,50 @@ func (j Job) Normalize() (Job, error) {
 	} else {
 		j.Hierarchy = j.Spec().Label()
 	}
+	return j, nil
+}
+
+// normalizeLevels canonicalizes the L-NUCA depth for the job's
+// hierarchy: defaulted and bounded where one exists, cleared otherwise.
+func (j *Job) normalizeLevels() error {
+	switch j.Kind {
+	case hier.LNUCAL3, hier.LNUCADNUCA:
+		if j.Levels == 0 {
+			j.Levels = 3
+		}
+		if j.Levels < 2 || j.Levels > 6 {
+			return fmt.Errorf("orchestrator: unsupported L-NUCA levels %d", j.Levels)
+		}
+	case hier.Conventional, hier.DNUCAOnly:
+		j.Levels = 0
+	default:
+		return fmt.Errorf("orchestrator: unknown hierarchy kind %d", j.Kind)
+	}
+	return nil
+}
+
+// normalizeTrace canonicalizes a trace-replay job. The trace content
+// hash pins the benchmark provenance, the seed and the windows, so a
+// trace job names only a hierarchy and the hash — anything else the
+// caller tried to pin alongside is a conflict, rejected loudly rather
+// than silently ignored.
+func (j Job) normalizeTrace() (Job, error) {
+	switch {
+	case j.Benchmark != "":
+		return j, fmt.Errorf("orchestrator: a run replays either a trace or a benchmark, not both (trace %s, benchmark %q)", j.Trace, j.Benchmark)
+	case j.Cores != 0 || j.Mix != "" || len(j.MixBenchmarks) != 0:
+		return j, fmt.Errorf("orchestrator: trace runs are single-core — drop cores/mix (trace %s)", j.Trace)
+	case j.Seed != 0:
+		return j, fmt.Errorf("orchestrator: the trace pins the seed — drop seed %d (trace %s)", j.Seed, j.Trace)
+	case j.Mode != (exp.Mode{}):
+		return j, fmt.Errorf("orchestrator: the trace pins the simulation windows — drop mode/warmup/measure (trace %s)", j.Trace)
+	case !trace.ValidID(j.Trace):
+		return j, fmt.Errorf("orchestrator: malformed trace id %q (want a 64-hex-digit lnuca-trace-v1 content hash)", j.Trace)
+	}
+	if err := j.normalizeLevels(); err != nil {
+		return j, err
+	}
+	j.Hierarchy = j.Spec().Label()
 	return j, nil
 }
 
@@ -140,10 +183,23 @@ const keySchema = "lnuca-job-v2"
 // display name; never the priority). The hierarchy is identified by its
 // stable paper label, not the numeric enum — reordering or inserting a
 // hier.Kind must never alias previously cached results.
+//
+// Trace jobs use their own canon shape: the trace content hash already
+// pins benchmark, seed and windows, so only the hierarchy is added. The
+// two shapes cannot collide ("|bench=" vs "|trace=" after the levels
+// field), and non-trace canon strings are byte-for-byte what they were
+// before traces existed, keeping every previously cached result
+// reachable.
 func (j Job) Key() string {
-	canon := fmt.Sprintf("%s|hier=%s|levels=%d|bench=%s|cores=%d|mix=%s|warmup=%d|measure=%d|seed=%d",
-		keySchema, j.Kind.String(), j.Levels, j.Benchmark, j.Cores,
-		strings.Join(j.MixBenchmarks, ","), j.Mode.Warmup, j.Mode.Measure, j.Seed)
+	var canon string
+	if j.Trace != "" {
+		canon = fmt.Sprintf("%s|hier=%s|levels=%d|trace=%s",
+			keySchema, j.Kind.String(), j.Levels, j.Trace)
+	} else {
+		canon = fmt.Sprintf("%s|hier=%s|levels=%d|bench=%s|cores=%d|mix=%s|warmup=%d|measure=%d|seed=%d",
+			keySchema, j.Kind.String(), j.Levels, j.Benchmark, j.Cores,
+			strings.Join(j.MixBenchmarks, ","), j.Mode.Warmup, j.Mode.Measure, j.Seed)
+	}
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:])
 }
@@ -193,6 +249,10 @@ type JobResult struct {
 	ThroughputIPC   float64          `json:"throughput_ipc,omitempty"`
 	WeightedSpeedup float64          `json:"weighted_speedup,omitempty"`
 
+	// LoadLatency is the measured window's load-latency histogram
+	// (single-core runs).
+	LoadLatency *stats.Histogram `json:"load_latency,omitempty"`
+
 	Stats *stats.Set `json:"stats,omitempty"`
 }
 
@@ -212,11 +272,12 @@ func (r *JobResult) Valid() bool {
 // ResultOf converts a successful exp.Result.
 func ResultOf(r exp.Result) *JobResult {
 	out := &JobResult{
-		Config:    r.Spec.Label(),
-		Benchmark: r.Bench.Name,
-		IPC:       r.IPC,
-		Cycles:    r.Cycles,
-		Stats:     r.Stats,
+		Config:      r.Spec.Label(),
+		Benchmark:   r.Bench.Name,
+		IPC:         r.IPC,
+		Cycles:      r.Cycles,
+		LoadLatency: r.LoadLat,
+		Stats:       r.Stats,
 	}
 	for b := power.Bucket(0); b < 4; b++ {
 		out.EnergyPJ[b] = r.Energy.Get(b)

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/hier"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -65,8 +66,16 @@ func SimRun(ctx context.Context, j Job, progress func(done, total uint64)) (*Job
 	return ResultOf(r), nil
 }
 
-// SimRunWith returns the production RunFunc backed by a result cache:
-// single-core jobs run directly; mix jobs run the CMP and then resolve
+// SimRunWith is SimRunWithTraces without a trace store: trace jobs fail
+// with a configuration error instead of replaying.
+func SimRunWith(cache *Cache) RunFunc {
+	return SimRunWithTraces(cache, nil)
+}
+
+// SimRunWithTraces returns the production RunFunc backed by a result
+// cache and a trace store. Trace jobs resolve their recorded stream
+// through the store and replay it; single-core jobs run directly; mix
+// jobs run the CMP and then resolve
 // their weighted-speedup baselines — one single-core run per distinct
 // benchmark in the mix, under the same hierarchy, mode and seed —
 // through the cache. A per-key singleflight inside the returned closure
@@ -81,7 +90,7 @@ func SimRun(ctx context.Context, j Job, progress func(done, total uint64)) (*Job
 // results.) Progress budgets one single-core window per core plus one
 // per distinct baseline, so a mix job keeps reporting honest progress
 // while its baselines run.
-func SimRunWith(cache *Cache) RunFunc {
+func SimRunWithTraces(cache *Cache, traces *trace.Store) RunFunc {
 	var mu sync.Mutex
 	inflight := make(map[string]chan struct{})
 
@@ -129,6 +138,20 @@ func SimRunWith(cache *Cache) RunFunc {
 	}
 
 	return func(ctx context.Context, j Job, progress func(done, total uint64)) (*JobResult, error) {
+		if j.Trace != "" {
+			if traces == nil {
+				return nil, fmt.Errorf("orchestrator: no trace store configured for trace run %s", j.Trace)
+			}
+			tr, err := traces.Get(j.Trace)
+			if err != nil {
+				return nil, err
+			}
+			r := exp.ReplayOneCtx(ctx, j.Spec(), tr, progress)
+			if r.Err != nil {
+				return nil, r.Err
+			}
+			return ResultOf(r), nil
+		}
 		if !j.IsMix() {
 			return SimRun(ctx, j, progress)
 		}
@@ -187,8 +210,12 @@ type Config struct {
 	Workers int
 	// Cache memoizes results (default: a fresh memory-only cache).
 	Cache *Cache
-	// Run executes one job (default: SimRunWith over Cache). Tests
-	// inject stubs here.
+	// Traces is the content-addressed trace store that trace jobs
+	// resolve their recorded streams through (default: a fresh
+	// memory-only store).
+	Traces *trace.Store
+	// Run executes one job (default: SimRunWithTraces over Cache and
+	// Traces). Tests inject stubs here.
 	Run RunFunc
 	// RecordCap bounds retained job records (default: 4096). Terminal
 	// records beyond the cap are pruned oldest-first so a long-running
@@ -214,10 +241,12 @@ type task struct {
 	progDone, progTotal atomic.Uint64
 }
 
-// Orchestrator owns the job queue, the worker pool and the result cache.
+// Orchestrator owns the job queue, the worker pool, the result cache
+// and the trace store.
 type Orchestrator struct {
-	cfg   Config
-	cache *Cache
+	cfg    Config
+	cache  *Cache
+	traces *trace.Store
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -246,8 +275,11 @@ func New(cfg Config) *Orchestrator {
 	if cfg.Cache == nil {
 		cfg.Cache = NewCache(0, "")
 	}
+	if cfg.Traces == nil {
+		cfg.Traces = trace.NewStore("")
+	}
 	if cfg.Run == nil {
-		cfg.Run = SimRunWith(cfg.Cache)
+		cfg.Run = SimRunWithTraces(cfg.Cache, cfg.Traces)
 	}
 	if cfg.RecordCap <= 0 {
 		cfg.RecordCap = 4096
@@ -255,6 +287,7 @@ func New(cfg Config) *Orchestrator {
 	o := &Orchestrator{
 		cfg:     cfg,
 		cache:   cfg.Cache,
+		traces:  cfg.Traces,
 		records: make(map[string]*task),
 		byKey:   make(map[string]*task),
 		sweeps:  make(map[string][]string),
@@ -270,6 +303,10 @@ func New(cfg Config) *Orchestrator {
 
 // Cache exposes the orchestrator's result cache (shared with CLIs).
 func (o *Orchestrator) Cache() *Cache { return o.cache }
+
+// Traces exposes the orchestrator's trace store (the /v1/traces ingest
+// and listing surface).
+func (o *Orchestrator) Traces() *trace.Store { return o.traces }
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("orchestrator: closed")
@@ -318,6 +355,14 @@ func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
 		rec := o.snapshot(t)
 		o.markTerminalLocked(t)
 		return rec, nil
+	}
+
+	// The job will simulate: a trace run needs its recorded stream to
+	// exist now, not fail in a worker minutes later. (Cache hits above
+	// are still served even if the trace has since been deleted — the
+	// result is content-addressed and remains valid.)
+	if nj.Trace != "" && !o.traces.Has(nj.Trace) {
+		return JobRecord{}, fmt.Errorf("orchestrator: unknown trace %s — upload it first (POST /v1/traces)", nj.Trace)
 	}
 
 	o.mu.Lock()

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/hier"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -44,6 +45,13 @@ type Request struct {
 	// Mix is a named pool ("int", "fp", "mixed", "memory", "compute"),
 	// "random" for a seeded draw, or an explicit comma-separated list.
 	Mix string `json:"mix,omitempty"`
+	// Trace names a recorded instruction stream by its lnuca-trace-v1
+	// content hash: the run replays that trace against Hierarchy instead
+	// of generating a synthetic stream. Mutually exclusive with
+	// Benchmark and Cores/Mix; the trace itself pins the benchmark
+	// provenance, the seed and the windows, so Mode/Warmup/Measure/Seed
+	// must stay unset.
+	Trace string `json:"trace,omitempty"`
 	// Mode names the simulation window ("quick" or "full"; empty means
 	// quick). Explicit Warmup/Measure windows override it.
 	Mode    string `json:"mode,omitempty"`
@@ -68,12 +76,35 @@ func (r Request) parse() (Job, error) {
 	if err != nil {
 		return Job{}, err
 	}
-	mode, err := ParseMode(r.Mode)
-	if err != nil {
-		return Job{}, err
-	}
-	if r.Warmup != 0 || r.Measure != 0 {
-		mode = exp.Mode{Name: "custom", Warmup: r.Warmup, Measure: r.Measure}
+	var mode exp.Mode
+	if r.Trace != "" {
+		// Everything a trace pins (workload, windows, seed) is rejected
+		// up front when named alongside it, so a conflicting request
+		// fails at parse time — before any queue or store is consulted —
+		// with an error naming the conflict. The same checks live in
+		// Job.normalizeTrace for callers that build Jobs directly.
+		switch {
+		case r.Benchmark != "":
+			return Job{}, fmt.Errorf("orchestrator: a run replays either a trace or a benchmark, not both (trace %s, benchmark %q)", r.Trace, r.Benchmark)
+		case r.Cores != 0 || r.Mix != "":
+			return Job{}, fmt.Errorf("orchestrator: trace runs are single-core — drop cores/mix (trace %s)", r.Trace)
+		case r.Mode != "" || r.Warmup != 0 || r.Measure != 0:
+			// The trace content hash pins the windows; resolving a mode
+			// here would make the defaulted window part of the request
+			// and silently conflict with the trace's own.
+			return Job{}, fmt.Errorf("orchestrator: a trace run replays the recorded windows — drop mode/warmup/measure (trace %s)", r.Trace)
+		case r.Seed != 0:
+			return Job{}, fmt.Errorf("orchestrator: the trace pins the seed — drop seed %d (trace %s)", r.Seed, r.Trace)
+		case !trace.ValidID(r.Trace):
+			return Job{}, fmt.Errorf("orchestrator: malformed trace id %q (want a 64-hex-digit lnuca-trace-v1 content hash)", r.Trace)
+		}
+	} else {
+		if mode, err = ParseMode(r.Mode); err != nil {
+			return Job{}, err
+		}
+		if r.Warmup != 0 || r.Measure != 0 {
+			mode = exp.Mode{Name: "custom", Warmup: r.Warmup, Measure: r.Measure}
+		}
 	}
 	return Job{
 		Kind:      kind,
@@ -81,6 +112,7 @@ func (r Request) parse() (Job, error) {
 		Benchmark: r.Benchmark,
 		Cores:     r.Cores,
 		Mix:       r.Mix,
+		Trace:     r.Trace,
 		Mode:      mode,
 		Seed:      r.Seed,
 		Priority:  r.Priority,
@@ -131,8 +163,14 @@ func RequestOf(j Job) Request {
 		Benchmark: j.Benchmark,
 		Cores:     j.Cores,
 		Mix:       j.Mix,
+		Trace:     j.Trace,
 		Seed:      j.Seed,
 		Priority:  j.Priority,
+	}
+	if j.Trace != "" {
+		// The trace pins seed and windows; a normalized trace job carries
+		// neither.
+		return r
 	}
 	switch j.Mode {
 	case exp.Quick:

@@ -3,6 +3,7 @@ package orchestrator
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -18,6 +19,9 @@ import (
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	POST   /v1/sweeps      submit a benchmark x hierarchy matrix
 //	GET    /v1/sweeps/{id} aggregated sweep status
+//	POST   /v1/traces      upload a recorded lnuca-trace-v1 stream
+//	GET    /v1/traces      list stored traces
+//	GET    /v1/traces/{id} one stored trace's provenance header
 //	GET    /v1/results     direct cache lookup by job content
 //	GET    /v1/benchmarks  the synthetic SPEC CPU2006 catalog
 //	GET    /healthz        liveness
@@ -36,6 +40,8 @@ func NewServer(o *Orchestrator) *Server {
 	s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
 	s.mux.HandleFunc("/v1/sweeps", s.handleSweeps)
 	s.mux.HandleFunc("/v1/sweeps/", s.handleSweepByID)
+	s.mux.HandleFunc("/v1/traces", s.handleTraces)
+	s.mux.HandleFunc("/v1/traces/", s.handleTraceByID)
 	s.mux.HandleFunc("/v1/results", s.handleResults)
 	s.mux.HandleFunc("/v1/benchmarks", s.handleBenchmarks)
 	return s
@@ -174,8 +180,63 @@ func (s *Server) handleSweepByID(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// maxTraceBytes bounds a trace upload; the full-mode window encodes to
+// well under a megabyte, so this is orders of magnitude of headroom.
+const maxTraceBytes = 64 << 20
+
+// handleTraces ingests (POST, body = raw lnuca-trace-v1 bytes) and
+// lists (GET) the content-addressed trace store. An upload answers with
+// the decoded provenance header — including the content hash to name in
+// Request.Trace — and re-uploading the same trace is idempotent.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxTraceBytes+1))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading trace body: %v", err)
+			return
+		}
+		if len(data) > maxTraceBytes {
+			writeError(w, http.StatusRequestEntityTooLarge, "trace exceeds %d bytes", maxTraceBytes)
+			return
+		}
+		hdr, err := s.orch.Traces().PutBytes(data)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, hdr)
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"traces": s.orch.Traces().List(),
+		})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+// handleTraceByID answers GET /v1/traces/{id} with the stored trace's
+// provenance header.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/traces/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "bad trace path %q", r.URL.Path)
+		return
+	}
+	hdr, err := s.orch.Traces().Header(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, hdr)
+}
+
 // handleResults answers GET /v1/results?hierarchy=&levels=&benchmark=
-// &cores=&mix=&mode=&warmup=&measure=&seed= straight from the result
+// &cores=&mix=&trace=&mode=&warmup=&measure=&seed= straight from the result
 // cache: 200 with the result on a hit, 404 on a miss. It never enqueues
 // work.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
@@ -188,6 +249,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		Hierarchy: q.Get("hierarchy"),
 		Benchmark: q.Get("benchmark"),
 		Mix:       q.Get("mix"),
+		Trace:     q.Get("trace"),
 		Mode:      q.Get("mode"),
 	}
 	var err error

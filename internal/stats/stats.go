@@ -299,6 +299,119 @@ func (h *Histogram) Observe(v int) {
 // Count returns the number of samples observed.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// NumBuckets returns the in-range bucket count (the [0, n) of
+// NewHistogram); samples at or beyond it land in the overflow bucket.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Clone returns an independent deep copy (nil stays nil), so a snapshot
+// taken at a window boundary is immune to later Observes.
+func (h *Histogram) Clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	out := *h
+	out.buckets = append([]uint64(nil), h.buckets...)
+	return &out
+}
+
+// Delta returns the histogram of samples observed after start: bucket
+// counts, overflow, count and sum subtract pairwise (clamped at zero,
+// like Set deltas). start is expected to be an earlier Clone of h (same
+// bucket range); a nil start yields a copy of h. Min/Max are recomputed
+// from the surviving in-range buckets — for overflow samples the exact
+// window extremes are not recoverable, so Max falls back to the run-wide
+// maximum when the window saw overflow.
+func (h *Histogram) Delta(start *Histogram) *Histogram {
+	if h == nil {
+		return nil
+	}
+	if start == nil {
+		return h.Clone()
+	}
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	out := NewHistogram(len(h.buckets))
+	for i, v := range h.buckets {
+		var sv uint64
+		if i < len(start.buckets) {
+			sv = start.buckets[i]
+		}
+		out.buckets[i] = sub(v, sv)
+	}
+	out.overflow = sub(h.overflow, start.overflow)
+	out.count = sub(h.count, start.count)
+	out.sum = sub(h.sum, start.sum)
+	for i, v := range out.buckets {
+		if v == 0 {
+			continue
+		}
+		if !out.any {
+			out.min = i
+		}
+		out.max = i
+		out.any = true
+	}
+	if out.overflow > 0 {
+		if !out.any {
+			out.min = len(out.buckets)
+		}
+		out.max = h.Max()
+		out.any = true
+	}
+	return out
+}
+
+// histogramJSON is the wire form of a Histogram. Buckets are serialized
+// in full (index = sample value), so an unmarshaled histogram keeps the
+// exact bucket range and counts of the original.
+type histogramJSON struct {
+	Buckets  []uint64 `json:"buckets"`
+	Overflow uint64   `json:"overflow,omitempty"`
+	Count    uint64   `json:"count"`
+	Sum      uint64   `json:"sum"`
+	Min      int      `json:"min,omitempty"`
+	Max      int      `json:"max,omitempty"`
+}
+
+// MarshalJSON renders the histogram so results carrying one are servable
+// over HTTP and storable in the orchestrator's file cache.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{
+		Buckets:  h.buckets,
+		Overflow: h.overflow,
+		Count:    h.count,
+		Sum:      h.sum,
+		Min:      h.Min(),
+		Max:      h.Max(),
+	})
+}
+
+// UnmarshalJSON restores a histogram written by MarshalJSON. The receiver
+// is reset; a zero-value Histogram becomes usable.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Buckets == nil {
+		w.Buckets = make([]uint64, 1)
+	}
+	*h = Histogram{
+		buckets:  w.Buckets,
+		overflow: w.Overflow,
+		count:    w.Count,
+		sum:      w.Sum,
+		min:      w.Min,
+		max:      w.Max,
+		any:      w.Count > 0,
+	}
+	return nil
+}
+
 // Sum returns the sum of all samples.
 func (h *Histogram) Sum() uint64 { return h.sum }
 

@@ -3,6 +3,7 @@ package stats
 import (
 	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -201,6 +202,85 @@ func TestEmptyHistogram(t *testing.T) {
 	h.Observe(0)
 	if h.Count() != 1 {
 		t.Error("degenerate histogram should still count")
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(8)
+	for _, v := range []int{0, 2, 2, 5, 7, 31} {
+		h.Observe(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Histogram
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(h, &got) {
+		t.Errorf("round trip changed the histogram:\n got %+v\nwant %+v", got, *h)
+	}
+	// An unmarshaled histogram keeps observing with the original range.
+	got.Observe(100)
+	if got.Overflow() != h.Overflow()+1 {
+		t.Errorf("overflow after re-observe = %d, want %d", got.Overflow(), h.Overflow()+1)
+	}
+}
+
+func TestHistogramJSONEmptyRoundTrip(t *testing.T) {
+	h := NewHistogram(4)
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Histogram
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(h, &got) {
+		t.Errorf("empty round trip changed the histogram:\n got %+v\nwant %+v", got, *h)
+	}
+}
+
+func TestHistogramClone(t *testing.T) {
+	h := NewHistogram(4)
+	h.Observe(1)
+	c := h.Clone()
+	h.Observe(1)
+	h.Observe(9)
+	if c.Count() != 1 || c.Bucket(1) != 1 || c.Overflow() != 0 {
+		t.Errorf("clone mutated by later observes: %+v", *c)
+	}
+	if (*Histogram)(nil).Clone() != nil {
+		t.Error("nil Clone should stay nil")
+	}
+}
+
+func TestHistogramDelta(t *testing.T) {
+	h := NewHistogram(8)
+	h.Observe(1)
+	h.Observe(20) // pre-window overflow
+	start := h.Clone()
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(30)
+	d := h.Delta(start)
+	if d.Count() != 3 || d.Bucket(3) != 2 || d.Bucket(1) != 0 || d.Overflow() != 1 {
+		t.Errorf("delta wrong: %+v", *d)
+	}
+	if d.Sum() != 36 {
+		t.Errorf("delta sum = %d, want 36", d.Sum())
+	}
+	if d.Min() != 3 {
+		t.Errorf("delta min = %d, want 3", d.Min())
+	}
+	// Window saw overflow, so Max falls back to the run-wide maximum.
+	if d.Max() != 30 {
+		t.Errorf("delta max = %d, want 30", d.Max())
+	}
+	if got := h.Delta(nil); !reflect.DeepEqual(got, h) {
+		t.Errorf("Delta(nil) should copy: %+v", *got)
 	}
 }
 

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// genOps draws an arbitrary op sequence — any class, any field values,
+// including ones no real generator emits (negative deps, addresses on
+// non-memory ops) — so the codec's identity property is proven for the
+// whole cpu.Op domain, not just well-formed streams.
+func genOps(r *rand.Rand, n int) []cpu.Op {
+	ops := make([]cpu.Op, n)
+	for i := range ops {
+		ops[i] = cpu.Op{
+			Class: cpu.Class(r.Intn(5)),
+			Dep1:  int32(r.Uint32()),
+			Dep2:  int32(r.Uint32()),
+			Addr:  mem.Addr(r.Uint64()),
+			PC:    r.Uint64(),
+			Taken: r.Intn(2) == 0,
+			Lat:   uint8(r.Intn(256)),
+		}
+	}
+	return ops
+}
+
+// TestQuickRecordRoundTrip: encode→decode is identity for arbitrary
+// record sequences (testing/quick drives the RNG).
+func TestQuickRecordRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		ops := genOps(r, int(nRaw)%512)
+		payload := encodeRecords(ops)
+		got, err := decodeRecords(payload, uint64(len(ops)))
+		if err != nil {
+			t.Logf("decode failed: %v", err)
+			return false
+		}
+		if len(got) != len(ops) {
+			return false
+		}
+		for i := range got {
+			if got[i] != ops[i] {
+				t.Logf("op %d: got %+v want %+v", i, got[i], ops[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFramedRoundTrip proves the full file framing (gzip, header,
+// hash) is identity-preserving too.
+func TestQuickFramedRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8, s uint64, w, m uint32) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New(Meta{Benchmark: "quick.bench", Seed: s, Warmup: uint64(w), Measure: uint64(m)},
+			genOps(r, int(nRaw)))
+		data, err := tr.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(got, tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTruncationAlwaysErrors: every proper prefix of a valid trace
+// file must decode to an error, never to a silently shorter trace.
+func TestQuickTruncationAlwaysErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	tr := New(Meta{Benchmark: "quick.bench", Seed: 1, Warmup: 10, Measure: 20}, genOps(r, 64))
+	data, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(cutRaw uint16) bool {
+		cut := int(cutRaw) % len(data)
+		_, err := Decode(data[:cut])
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzDecode: arbitrary bytes must never panic the decoder, and anything
+// that does decode must re-encode to the same identity (no partial
+// silent reads).
+func FuzzDecode(f *testing.F) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 17, 200} {
+		tr := New(Meta{Benchmark: "fuzz.bench", Seed: 9, Warmup: 5, Measure: 15}, genOps(r, n))
+		data, err := tr.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is not gzip"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		if uint64(len(tr.Ops)) != tr.Header.Ops {
+			t.Fatalf("decoded %d ops but header claims %d", len(tr.Ops), tr.Header.Ops)
+		}
+		// Whatever decodes must hold the hash invariant: rebuilding from
+		// the decoded ops and metadata yields the same identity.
+		rebuilt := New(Meta{
+			Benchmark: tr.Header.Benchmark,
+			Seed:      tr.Header.Seed,
+			Warmup:    tr.Header.Warmup,
+			Measure:   tr.Header.Measure,
+		}, tr.Ops)
+		if rebuilt.ID() != tr.ID() {
+			t.Fatalf("decoded trace %s rebuilds to %s", tr.ID(), rebuilt.ID())
+		}
+	})
+}
+
+// FuzzDecodeRecords drives the record decoder directly (no gzip frame in
+// the way), the hot surface for malformed varints.
+func FuzzDecodeRecords(f *testing.F) {
+	r := rand.New(rand.NewSource(3))
+	f.Add(encodeRecords(genOps(r, 50)), uint64(50))
+	f.Add([]byte{}, uint64(0))
+	f.Add([]byte{0xff}, uint64(1))
+	f.Fuzz(func(t *testing.T, payload []byte, n uint64) {
+		ops, err := decodeRecords(payload, n%4096)
+		if err != nil {
+			return
+		}
+		// Success implies exactness: re-encoding reproduces the payload.
+		if got := encodeRecords(ops); !reflect.DeepEqual(got, payload) && len(payload) != 0 {
+			// Multiple varint spellings of the same value exist, so only
+			// assert the stronger property when it must hold: canonical
+			// encodings (what encodeRecords itself emits) round-trip; for
+			// non-canonical-but-valid input we just require a second
+			// decode of the re-encoding to agree.
+			again, err := decodeRecords(got, uint64(len(ops)))
+			if err != nil || !reflect.DeepEqual(again, ops) {
+				t.Fatalf("re-encode of decoded ops does not round-trip: %v", err)
+			}
+		}
+	})
+}

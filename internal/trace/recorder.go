@@ -1,0 +1,79 @@
+package trace
+
+import "repro/internal/cpu"
+
+// Recorder wraps any cpu.Stream and captures every op it hands out, so a
+// normal simulation proceeds unchanged while the trace accumulates. It
+// implements cpu.Stream itself: wire it where the generator would go.
+type Recorder struct {
+	inner cpu.Stream
+	ops   []cpu.Op
+}
+
+// NewRecorder wraps s.
+func NewRecorder(s cpu.Stream) *Recorder {
+	return &Recorder{inner: s}
+}
+
+// Next implements cpu.Stream: a transparent pass-through that appends
+// each op to the capture.
+func (r *Recorder) Next() (cpu.Op, bool) {
+	op, ok := r.inner.Next()
+	if ok {
+		r.ops = append(r.ops, op)
+	}
+	return op, ok
+}
+
+// Reserve drains up to n more ops from the underlying stream into the
+// capture. Recordings call it after the live run stops: a core fetches a
+// bounded number of ops beyond its committed budget, and that bound
+// differs per hierarchy, so the slack is what lets one trace replay to
+// completion on hierarchies the recording never ran.
+func (r *Recorder) Reserve(n int) {
+	for i := 0; i < n; i++ {
+		op, ok := r.inner.Next()
+		if !ok {
+			return
+		}
+		r.ops = append(r.ops, op)
+	}
+}
+
+// Len returns the number of ops captured so far.
+func (r *Recorder) Len() int { return len(r.ops) }
+
+// Trace snapshots the capture as an identified trace.
+func (r *Recorder) Trace(m Meta) *Trace {
+	return New(m, append([]cpu.Op(nil), r.ops...))
+}
+
+var _ cpu.Stream = (*Recorder)(nil)
+
+// Replayer feeds a recorded trace back as a cpu.Stream, so cpu.Core
+// consumes traces with zero kernel changes: the stream ends when the
+// records run out.
+type Replayer struct {
+	ops  []cpu.Op
+	next int
+}
+
+// NewReplayer returns a stream over t's ops.
+func NewReplayer(t *Trace) *Replayer {
+	return &Replayer{ops: t.Ops}
+}
+
+// Next implements cpu.Stream.
+func (r *Replayer) Next() (cpu.Op, bool) {
+	if r.next >= len(r.ops) {
+		return cpu.Op{}, false
+	}
+	op := r.ops[r.next]
+	r.next++
+	return op, true
+}
+
+// Remaining returns the number of unread ops.
+func (r *Replayer) Remaining() int { return len(r.ops) - r.next }
+
+var _ cpu.Stream = (*Replayer)(nil)

@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cpu"
+)
+
+// Store is the content-addressed trace store that sits next to the
+// orchestrator's result cache: traces are kept by their content hash, so
+// uploading the same trace twice is idempotent and a trace-run job key
+// always names exactly one recorded stream.
+//
+// With a directory the store persists each trace as <id>.lntrace
+// (write-through, shared between lnucad and the CLIs the same way the
+// result cache directory is); without one it is memory-only.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	mem     map[string]*Trace // decoded traces (all of them when dir == "")
+	headers map[string]Header // known headers, keyed by id
+}
+
+// ext is the trace file extension.
+const ext = ".lntrace"
+
+// maxMemTraces bounds a memory-only store. Unlike the result cache's
+// LRU, entries are not silently evicted — a trace a job was validated
+// against must stay resolvable — so a full store rejects new Puts with
+// an explicit error instead of growing until OOM. Directory stores are
+// operator-managed disk, like the result cache's file store, and are
+// not capped.
+const maxMemTraces = 256
+
+// NewStore returns a store over dir ("" = memory only). The directory is
+// created on first Put.
+func NewStore(dir string) *Store {
+	return &Store{
+		dir:     dir,
+		mem:     make(map[string]*Trace),
+		headers: make(map[string]Header),
+	}
+}
+
+// Put stores a trace under its content hash and returns the header. The
+// hash is recomputed from the ops, so a tampered Trace value cannot
+// poison the store under a foreign identity.
+func (s *Store) Put(t *Trace) (Header, error) {
+	// The copy keeps the stored stream immune to a caller later
+	// mutating the slice it handed in.
+	canonical := New(Meta{
+		Benchmark: t.Header.Benchmark,
+		Seed:      t.Header.Seed,
+		Warmup:    t.Header.Warmup,
+		Measure:   t.Header.Measure,
+	}, append([]cpu.Op(nil), t.Ops...))
+	if t.Header.ID != "" && t.Header.ID != canonical.Header.ID {
+		return Header{}, fmt.Errorf("trace: header id %s does not match content %s", t.Header.ID, canonical.Header.ID)
+	}
+	return s.putVerified(canonical, nil)
+}
+
+// PutBytes decodes framed trace bytes (verifying schema and content
+// hash) and stores the result: the POST /v1/traces ingest path. The
+// already-verified frame is persisted as-is, so an upload costs one
+// decode, not a decode plus a re-encode.
+func (s *Store) PutBytes(data []byte) (Header, error) {
+	t, err := Decode(data)
+	if err != nil {
+		return Header{}, err
+	}
+	return s.putVerified(t, data)
+}
+
+// putVerified stores a trace whose header is known to match its ops;
+// encoded, when non-nil, holds the exact verified frame to persist.
+func (s *Store) putVerified(t *Trace, encoded []byte) (Header, error) {
+	id := t.ID()
+	if s.dir != "" {
+		if encoded == nil {
+			var err error
+			if encoded, err = t.Encode(); err != nil {
+				return Header{}, err
+			}
+		}
+		if err := s.persist(id, encoded); err != nil {
+			return Header{}, err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir == "" {
+		if _, exists := s.mem[id]; !exists && len(s.mem) >= maxMemTraces {
+			return Header{}, fmt.Errorf("trace: in-memory store full (%d traces) — back it with a directory to hold more", maxMemTraces)
+		}
+		s.mem[id] = t
+	}
+	s.headers[id] = t.Header
+	return t.Header, nil
+}
+
+func (s *Store) path(id string) string {
+	return filepath.Join(s.dir, id+ext)
+}
+
+func (s *Store) persist(id string, data []byte) error {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	tmp := s.path(id) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path(id))
+}
+
+// Get returns the trace with the given content hash. A stored file whose
+// content no longer matches its name is an error, never a wrong replay.
+func (s *Store) Get(id string) (*Trace, error) {
+	if !ValidID(id) {
+		return nil, fmt.Errorf("trace: malformed trace id %q", id)
+	}
+	s.mu.Lock()
+	t, ok := s.mem[id]
+	s.mu.Unlock()
+	if ok {
+		return t, nil
+	}
+	if s.dir == "" {
+		return nil, fmt.Errorf("trace: unknown trace %s", id)
+	}
+	data, err := os.ReadFile(s.path(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("trace: unknown trace %s", id)
+		}
+		return nil, err
+	}
+	t, err = Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("trace: stored trace %s: %w", id, err)
+	}
+	if t.ID() != id {
+		return nil, fmt.Errorf("trace: stored trace %s actually hashes to %s", id, t.ID())
+	}
+	s.mu.Lock()
+	s.headers[id] = t.Header
+	s.mu.Unlock()
+	return t, nil
+}
+
+// Header returns the provenance header of a stored trace without
+// building its op slice: the cheap metadata path behind listings and
+// the GET /v1/traces/{id} endpoint. Stored files were hash-verified at
+// Put, so only the header is decoded here; Get still fully re-verifies
+// before a replay.
+func (s *Store) Header(id string) (Header, error) {
+	if !ValidID(id) {
+		return Header{}, fmt.Errorf("trace: malformed trace id %q", id)
+	}
+	s.mu.Lock()
+	h, known := s.headers[id]
+	s.mu.Unlock()
+	if known && s.Has(id) {
+		return h, nil
+	}
+	if s.dir == "" {
+		return Header{}, fmt.Errorf("trace: unknown trace %s", id)
+	}
+	data, err := os.ReadFile(s.path(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Header{}, fmt.Errorf("trace: unknown trace %s", id)
+		}
+		return Header{}, err
+	}
+	hdr, err := DecodeHeader(data)
+	if err != nil {
+		return Header{}, fmt.Errorf("trace: stored trace %s: %w", id, err)
+	}
+	if hdr.ID != id {
+		return Header{}, fmt.Errorf("trace: stored trace %s actually claims id %s", id, hdr.ID)
+	}
+	s.mu.Lock()
+	s.headers[id] = hdr
+	s.mu.Unlock()
+	return hdr, nil
+}
+
+// Has reports whether the store holds a trace with this id. For a
+// directory store the file itself is consulted — never the header
+// index, which could outlive an operator pruning the directory — so a
+// positive answer means a Get would actually find the stream.
+func (s *Store) Has(id string) bool {
+	if !ValidID(id) {
+		return false
+	}
+	s.mu.Lock()
+	_, inMem := s.mem[id]
+	s.mu.Unlock()
+	if inMem {
+		return true
+	}
+	if s.dir == "" {
+		return false
+	}
+	_, err := os.Stat(s.path(id))
+	return err == nil
+}
+
+// List returns the headers of every stored trace, sorted by id. For a
+// directory store it scans the directory, so traces dropped in by other
+// processes (or left by a previous daemon) are listed too; unreadable
+// files are skipped rather than failing the listing.
+func (s *Store) List() []Header {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir != "" {
+		s.scanLocked()
+	}
+	out := make([]Header, 0, len(s.headers))
+	for _, h := range s.headers {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// scanLocked rebuilds the header index from the directory: new files
+// are decoded, already-indexed ones keep their header, and entries
+// whose files were pruned drop out of the listing.
+func (s *Store) scanLocked() {
+	fresh := make(map[string]Header)
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		s.headers = fresh // directory missing: nothing stored
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ext) {
+			continue
+		}
+		id := strings.TrimSuffix(name, ext)
+		if !ValidID(id) {
+			continue
+		}
+		if h, known := s.headers[id]; known {
+			fresh[id] = h
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		hdr, err := DecodeHeader(data)
+		if err != nil || hdr.ID != id {
+			continue
+		}
+		fresh[id] = hdr
+	}
+	s.headers = fresh
+}
+
+// Len returns the number of known traces (List-visible entries).
+func (s *Store) Len() int { return len(s.List()) }

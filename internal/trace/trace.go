@@ -1,0 +1,439 @@
+// Package trace implements the lnuca-trace-v1 capture/replay format: a
+// versioned, compact binary encoding of the dynamic correct-path op
+// stream a core consumed, so any workload can be recorded once and
+// re-run bit-for-bit against every hierarchy.
+//
+// A trace file is a gzip stream framing
+//
+//	magic line          "LNUCATRACEv1\n"
+//	header              one JSON object + '\n' (self-describing
+//	                    provenance: benchmark, seed, windows, op count,
+//	                    content hash)
+//	records             one varint-encoded record per op
+//
+// Records are delta-encoded: memory addresses and branch PCs are stored
+// as zigzag varint differences from the previous occurrence, dependence
+// distances as zigzag varints, and per-op flags (branch outcome, latency
+// override, optional fields) pack into a single control byte. The
+// typical record is 2-6 bytes before gzip.
+//
+// A trace is identified by its content hash: SHA-256 over a canonical
+// rendering of the header metadata followed by the raw record payload.
+// The hash is stored in the header and re-verified on every decode, so a
+// truncated or tampered trace can never silently replay as the original.
+// The hash is also the job-key ingredient of a trace run: it pins the
+// benchmark provenance, the seed and the simulation windows, which is
+// what makes "replay this trace on hierarchy X" a well-defined, cacheable
+// computation.
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// Schema is the trace format version. Decoders reject any other value so
+// a future v2 consumer never silently misreads v1 producers or vice
+// versa.
+const Schema = "lnuca-trace-v1"
+
+// magic is the first line of every trace file (inside the gzip frame).
+const magic = "LNUCATRACEv1\n"
+
+// ReplaySlack is how many ops past the live run's consumption a recording
+// drains from the underlying stream. A core fetches at most
+// ROB + decode-queue ops beyond its committed budget, so a trace with
+// this much slack replays to completion on any hierarchy, not just the
+// one it was recorded on.
+const ReplaySlack = 4096
+
+// maxOps and maxPayloadBytes bound what a decoder will believe: a
+// crafted header must not be able to drive allocations. Both are far
+// above any real trace (the full-mode window is 240k instructions,
+// ~500KB of records) while capping the worst-case memory of decoding a
+// hostile stream at roughly one decoded ops slice (2M ops × ~40B ≈
+// 80MB) plus the payload itself.
+const (
+	maxOps          = 1 << 21
+	maxPayloadBytes = 64 << 20
+)
+
+// Header is the self-describing provenance of a trace: which benchmark
+// generated the stream, under which seed, over which simulation windows,
+// and the content hash that identifies it.
+type Header struct {
+	// Schema is the trace format version (Schema; set by New).
+	Schema string `json:"schema"`
+	// Benchmark names the catalog workload the stream was generated
+	// from. Replays use it to reproduce the recording run's functional
+	// prewarm.
+	Benchmark string `json:"benchmark"`
+	// Seed is the recording run's seed; replays reuse it so seeded
+	// hierarchy behaviour (fabric routing) matches the live run.
+	Seed uint64 `json:"seed"`
+	// Warmup and Measure are the recording run's window sizes; replays
+	// inherit them, which is what guarantees the trace holds enough ops.
+	Warmup  uint64 `json:"warmup"`
+	Measure uint64 `json:"measure"`
+	// Ops is the record count.
+	Ops uint64 `json:"ops"`
+	// ID is the content hash (hex SHA-256 over the canonical metadata
+	// and the record payload): the trace's identity in the store, the
+	// HTTP API and trace-run job keys.
+	ID string `json:"id"`
+}
+
+// Meta is the caller-supplied part of a Header.
+type Meta struct {
+	Benchmark string
+	Seed      uint64
+	Warmup    uint64
+	Measure   uint64
+}
+
+// Trace is a decoded trace: header plus the op stream.
+type Trace struct {
+	Header Header
+	Ops    []cpu.Op
+}
+
+// New builds a trace over ops, computing its content hash. The ops slice
+// is retained, not copied.
+func New(m Meta, ops []cpu.Op) *Trace {
+	h := Header{
+		Schema:    Schema,
+		Benchmark: m.Benchmark,
+		Seed:      m.Seed,
+		Warmup:    m.Warmup,
+		Measure:   m.Measure,
+		Ops:       uint64(len(ops)),
+	}
+	h.ID = contentHash(h, encodeRecords(ops))
+	return &Trace{Header: h, Ops: ops}
+}
+
+// ID returns the trace's content hash.
+func (t *Trace) ID() string { return t.Header.ID }
+
+// ValidID reports whether id is shaped like a trace content hash
+// (64 lowercase hex digits).
+func ValidID(id string) bool {
+	if len(id) != 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// contentHash derives the trace identity: a canonical rendering of the
+// metadata (every field that pins the replay) followed by the raw record
+// payload. Hashing the uncompressed payload keeps the identity stable
+// across gzip implementations.
+func contentHash(h Header, payload []byte) string {
+	sum := sha256.New()
+	fmt.Fprintf(sum, "%s|bench=%s|seed=%d|warmup=%d|measure=%d|ops=%d|",
+		Schema, h.Benchmark, h.Seed, h.Warmup, h.Measure, h.Ops)
+	sum.Write(payload)
+	return hex.EncodeToString(sum.Sum(nil))
+}
+
+// Record control-byte layout: class in the low 3 bits, then presence
+// flags for the optional fields. Absent fields decode as their zero
+// value, so encode→decode is exact for arbitrary ops while the common
+// record stays small.
+const (
+	ctlClassMask = 0x07
+	ctlTaken     = 1 << 3
+	ctlHasLat    = 1 << 4
+	ctlHasDep2   = 1 << 5
+	ctlHasAddr   = 1 << 6
+	ctlHasPC     = 1 << 7
+)
+
+// encodeRecords renders ops as the delta/varint record payload.
+func encodeRecords(ops []cpu.Op) []byte {
+	buf := make([]byte, 0, 4*len(ops))
+	var tmp [binary.MaxVarintLen64]byte
+	putZig := func(v int64) {
+		n := binary.PutUvarint(tmp[:], zigzag(v))
+		buf = append(buf, tmp[:n]...)
+	}
+	var prevAddr, prevPC uint64
+	for _, op := range ops {
+		ctl := byte(op.Class) & ctlClassMask
+		if op.Taken {
+			ctl |= ctlTaken
+		}
+		if op.Lat != 0 {
+			ctl |= ctlHasLat
+		}
+		if op.Dep2 != 0 {
+			ctl |= ctlHasDep2
+		}
+		if op.Addr != 0 {
+			ctl |= ctlHasAddr
+		}
+		if op.PC != 0 {
+			ctl |= ctlHasPC
+		}
+		buf = append(buf, ctl)
+		putZig(int64(op.Dep1))
+		if ctl&ctlHasDep2 != 0 {
+			putZig(int64(op.Dep2))
+		}
+		if ctl&ctlHasLat != 0 {
+			buf = append(buf, op.Lat)
+		}
+		if ctl&ctlHasAddr != 0 {
+			putZig(int64(uint64(op.Addr) - prevAddr))
+			prevAddr = uint64(op.Addr)
+		}
+		if ctl&ctlHasPC != 0 {
+			putZig(int64(op.PC - prevPC))
+			prevPC = op.PC
+		}
+	}
+	return buf
+}
+
+// decodeRecords parses exactly n records from payload, which must be
+// fully consumed.
+func decodeRecords(payload []byte, n uint64) ([]cpu.Op, error) {
+	if n > maxOps {
+		return nil, fmt.Errorf("trace: implausible op count %d", n)
+	}
+	if n*2 > uint64(len(payload)) {
+		// Every record is at least two bytes (control byte + dep1), so a
+		// header claiming more ops than the payload can hold is rejected
+		// before any allocation scales with the claim.
+		return nil, fmt.Errorf("trace: %d-byte payload cannot hold %d records", len(payload), n)
+	}
+	r := bytes.NewReader(payload)
+	getZig := func() (int64, error) {
+		u, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, err
+		}
+		return unzigzag(u), nil
+	}
+	ops := make([]cpu.Op, 0, min(n, 1<<20))
+	var prevAddr, prevPC uint64
+	for i := uint64(0); i < n; i++ {
+		ctl, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated record %d: %w", i, err)
+		}
+		var op cpu.Op
+		op.Class = cpu.Class(ctl & ctlClassMask)
+		if op.Class > cpu.ClassBranch {
+			return nil, fmt.Errorf("trace: record %d: unknown op class %d", i, op.Class)
+		}
+		op.Taken = ctl&ctlTaken != 0
+		d1, err := getZig()
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated record %d: %w", i, err)
+		}
+		op.Dep1 = int32(d1)
+		if ctl&ctlHasDep2 != 0 {
+			d2, err := getZig()
+			if err != nil {
+				return nil, fmt.Errorf("trace: truncated record %d: %w", i, err)
+			}
+			op.Dep2 = int32(d2)
+		}
+		if ctl&ctlHasLat != 0 {
+			lat, err := r.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("trace: truncated record %d: %w", i, err)
+			}
+			op.Lat = lat
+		}
+		if ctl&ctlHasAddr != 0 {
+			d, err := getZig()
+			if err != nil {
+				return nil, fmt.Errorf("trace: truncated record %d: %w", i, err)
+			}
+			prevAddr += uint64(d)
+			op.Addr = mem.Addr(prevAddr)
+		}
+		if ctl&ctlHasPC != 0 {
+			d, err := getZig()
+			if err != nil {
+				return nil, fmt.Errorf("trace: truncated record %d: %w", i, err)
+			}
+			prevPC += uint64(d)
+			op.PC = prevPC
+		}
+		ops = append(ops, op)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("trace: %d trailing bytes after %d records", r.Len(), n)
+	}
+	return ops, nil
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// EncodeTo writes the framed trace to w.
+func (t *Trace) EncodeTo(w io.Writer) error {
+	if t.Header.Ops != uint64(len(t.Ops)) {
+		return fmt.Errorf("trace: header claims %d ops, have %d", t.Header.Ops, len(t.Ops))
+	}
+	hdr, err := json.Marshal(t.Header)
+	if err != nil {
+		return err
+	}
+	gz := gzip.NewWriter(w)
+	for _, chunk := range [][]byte{[]byte(magic), hdr, []byte("\n"), encodeRecords(t.Ops)} {
+		if _, err := gz.Write(chunk); err != nil {
+			return err
+		}
+	}
+	return gz.Close()
+}
+
+// Encode returns the framed trace bytes.
+func (t *Trace) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := t.EncodeTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFrom reads one framed trace from r, verifying the magic, the
+// schema version and the content hash. Malformed input returns an error;
+// it never panics and never yields a partial trace.
+func DecodeFrom(r io.Reader) (*Trace, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: not a trace file (gzip): %w", err)
+	}
+	defer gz.Close()
+
+	hdr, rest, err := readHeader(gz)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := readAllBounded(gz, rest, hdr.Ops)
+	if err != nil {
+		return nil, err
+	}
+	// Verify the identity before decoding: a corrupted payload is
+	// rejected from the raw bytes, without building its op slice first.
+	if got := contentHash(hdr, payload); got != hdr.ID {
+		return nil, fmt.Errorf("trace: content hash mismatch: header says %s, payload hashes to %s", hdr.ID, got)
+	}
+	ops, err := decodeRecords(payload, hdr.Ops)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{Header: hdr, Ops: ops}, nil
+}
+
+// Decode parses framed trace bytes.
+func Decode(data []byte) (*Trace, error) {
+	return DecodeFrom(bytes.NewReader(data))
+}
+
+// readHeader consumes the magic line and the JSON header from the
+// decompressed stream, returning any record bytes read past the header.
+func readHeader(gz io.Reader) (Header, []byte, error) {
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(gz, head); err != nil {
+		return Header{}, nil, fmt.Errorf("trace: truncated magic: %w", err)
+	}
+	if string(head) != magic {
+		return Header{}, nil, errors.New("trace: bad magic: not a lnuca trace")
+	}
+	hdrLine, rest, err := readLine(gz)
+	if err != nil {
+		return Header{}, nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	var hdr Header
+	if err := json.Unmarshal(hdrLine, &hdr); err != nil {
+		return Header{}, nil, fmt.Errorf("trace: bad header: %w", err)
+	}
+	if hdr.Schema != Schema {
+		return Header{}, nil, fmt.Errorf("trace: unsupported trace schema %q (want %q)", hdr.Schema, Schema)
+	}
+	if !ValidID(hdr.ID) {
+		return Header{}, nil, fmt.Errorf("trace: malformed content hash %q", hdr.ID)
+	}
+	return hdr, rest, nil
+}
+
+// DecodeHeader parses only the provenance header of framed trace bytes:
+// the cheap metadata path (listings, info endpoints) that skips building
+// the op slice. The content hash is NOT re-verified — that requires the
+// full payload — so callers serving untrusted files should Decode once
+// at ingest (as the store does) and use DecodeHeader for reads after.
+func DecodeHeader(data []byte) (Header, error) {
+	gz, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return Header{}, fmt.Errorf("trace: not a trace file (gzip): %w", err)
+	}
+	defer gz.Close()
+	hdr, _, err := readHeader(gz)
+	return hdr, err
+}
+
+// readLine consumes bytes from r up to the first '\n', returning the
+// line (newline excluded) and any bytes read past it.
+func readLine(r io.Reader) (line, rest []byte, err error) {
+	var buf []byte
+	chunk := make([]byte, 512)
+	for {
+		n, err := r.Read(chunk)
+		buf = append(buf, chunk[:n]...)
+		if i := bytes.IndexByte(buf, '\n'); i >= 0 {
+			return buf[:i], buf[i+1:], nil
+		}
+		if len(buf) > 1<<20 {
+			return nil, nil, errors.New("header line exceeds 1MB")
+		}
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, nil, err
+		}
+	}
+}
+
+// readAllBounded reads the remaining payload under two independent
+// caps — one derived from the declared op count (each record is at
+// least 2 bytes, at most ~60), one the absolute maxPayloadBytes — so a
+// decompression bomb stops expanding at a fixed budget no matter what
+// the header claims.
+func readAllBounded(r io.Reader, prefix []byte, ops uint64) ([]byte, error) {
+	if ops > maxOps {
+		return nil, fmt.Errorf("trace: implausible op count %d", ops)
+	}
+	limit := min(int64(ops)*64+1, maxPayloadBytes)
+	buf := bytes.NewBuffer(prefix)
+	n, err := io.Copy(buf, io.LimitReader(r, limit-int64(len(prefix))+1))
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading records: %w", err)
+	}
+	if int64(len(prefix))+n > limit {
+		return nil, fmt.Errorf("trace: record payload exceeds the declared %d ops", ops)
+	}
+	return buf.Bytes(), nil
+}

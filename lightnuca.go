@@ -45,6 +45,8 @@ package lightnuca
 
 import (
 	"context"
+	"errors"
+	"fmt"
 
 	"repro/internal/exp"
 	"repro/internal/hier"
@@ -55,6 +57,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/tech"
 	"repro/internal/timing"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -71,6 +74,27 @@ type Sweep = orchestrator.SweepRequest
 
 // RequestSchema is the current declarative run schema version.
 const RequestSchema = orchestrator.RequestSchema
+
+// Trace is a recorded instruction stream: provenance header plus ops,
+// replayable bit-for-bit against any single-core hierarchy. Record
+// captures one; Request.Trace (set to the trace's content hash) replays
+// one through any Runner.
+type Trace = trace.Trace
+
+// TraceInfo is a trace's self-describing provenance: benchmark, seed,
+// windows, op count, and the content hash that identifies it.
+type TraceInfo = trace.Header
+
+// TraceStore is a content-addressed trace store (directory-backed or
+// in-memory), shared between Local runners, the CLIs and lnucad.
+type TraceStore = trace.Store
+
+// TraceSchema is the trace format version (lnuca-trace-v1).
+const TraceSchema = trace.Schema
+
+// DecodeTrace parses framed lnuca-trace-v1 bytes, verifying the format
+// version and the content hash.
+func DecodeTrace(data []byte) (*Trace, error) { return trace.Decode(data) }
 
 // Runner executes Requests. Implementations: Local (in process) and
 // Client (HTTP against lnucad). Both resolve a Request to the same
@@ -154,6 +178,11 @@ type Result struct {
 	ThroughputIPC   float64
 	WeightedSpeedup float64
 
+	// LoadLatency is the measured window's load-latency histogram:
+	// dispatch-to-complete cycles of every load that went to memory
+	// (single-core runs).
+	LoadLatency *stats.Histogram
+
 	// Stats exposes every counter the simulator collected.
 	Stats *stats.Set
 }
@@ -175,6 +204,7 @@ func resultFrom(key string, jr *orchestrator.JobResult, cached bool) Result {
 		PerCore:         append([]CoreResult(nil), jr.PerCore...),
 		ThroughputIPC:   jr.ThroughputIPC,
 		WeightedSpeedup: jr.WeightedSpeedup,
+		LoadLatency:     jr.LoadLatency.Clone(),
 		Stats:           jr.Stats.Clone(),
 	}
 	for b := power.Bucket(0); b < 4; b++ {
@@ -221,6 +251,33 @@ func Run(h Hierarchy, benchmark string, opt Options) (Result, error) {
 		Measure:   opt.MeasureInstructions,
 		Seed:      opt.Seed,
 	})
+}
+
+// Record executes one single-core Request in process — exactly the run
+// any Runner would perform, bit-identical statistics included — while
+// capturing the op stream the core consumed into a replayable Trace.
+// The request must name a benchmark (not a mix or another trace).
+// Replaying the returned trace on the same hierarchy reproduces this
+// run's Result exactly; replaying it on any other hierarchy re-runs the
+// identical workload there. Recording always simulates (the capture is
+// the point), so no cache is consulted, and the result is not stored.
+func Record(ctx context.Context, req Request) (Result, *Trace, error) {
+	job, err := req.Job()
+	if err != nil {
+		return Result{}, nil, err
+	}
+	if job.IsMix() || job.Trace != "" || job.Benchmark == "" {
+		return Result{}, nil, errors.New("lightnuca: Record needs a single-core benchmark request")
+	}
+	prof, ok := workload.ByName(job.Benchmark)
+	if !ok {
+		return Result{}, nil, fmt.Errorf("lightnuca: unknown benchmark %q", job.Benchmark)
+	}
+	res, tr := exp.RecordOneCtx(ctx, job.Spec(), prof, job.Mode, job.Seed, nil)
+	if res.Err != nil {
+		return Result{}, nil, res.Err
+	}
+	return resultFrom(job.Key(), orchestrator.ResultOf(res), false), tr, nil
 }
 
 // Benchmarks lists the 28 synthetic SPEC CPU2006 workload names. The

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/orchestrator"
+	"repro/internal/trace"
 )
 
 // Local is the in-process Runner: it normalizes a Request, consults the
@@ -27,13 +28,19 @@ type Local struct {
 	// CacheEntries bounds the in-memory LRU (0 = the orchestrator
 	// default).
 	CacheEntries int
+	// TraceDir optionally backs the runner's trace store with a
+	// directory of <id>.lntrace files — point it at lnucad's -traces
+	// directory and a trace uploaded to the service replays locally too
+	// (empty = in-memory only).
+	TraceDir string
 	// OnProgress, when set, receives (committed, total) instruction
 	// counts as runs advance.
 	OnProgress func(done, total uint64)
 
-	once  sync.Once
-	cache *orchestrator.Cache
-	run   orchestrator.RunFunc
+	once   sync.Once
+	cache  *orchestrator.Cache
+	traces *TraceStore
+	run    orchestrator.RunFunc
 
 	mu       sync.Mutex
 	inflight map[string]chan struct{}
@@ -42,9 +49,27 @@ type Local struct {
 func (l *Local) init() {
 	l.once.Do(func() {
 		l.cache = orchestrator.NewCache(l.CacheEntries, l.CacheDir)
-		l.run = orchestrator.SimRunWith(l.cache)
+		l.traces = trace.NewStore(l.TraceDir)
+		l.run = orchestrator.SimRunWithTraces(l.cache, l.traces)
 		l.inflight = make(map[string]chan struct{})
 	})
+}
+
+// ImportTrace adds a recorded trace to the runner's store and returns
+// its content hash — the value a Request.Trace replay names.
+func (l *Local) ImportTrace(tr *Trace) (string, error) {
+	l.init()
+	hdr, err := l.traces.Put(tr)
+	if err != nil {
+		return "", err
+	}
+	return hdr.ID, nil
+}
+
+// Traces exposes the runner's trace store.
+func (l *Local) Traces() *TraceStore {
+	l.init()
+	return l.traces
 }
 
 // Run implements Runner: normalize, look up, simulate on a miss, store.
