@@ -17,6 +17,13 @@
 // jobs name entries by hash) lives next to the result cache: -traces
 // names its directory explicitly, and defaults to <cache>/traces when
 // -cache is set (in-memory otherwise).
+//
+// Observability: every request is access-logged (structured, -log-format
+// text|json at -log-level), GET /metrics serves Prometheus text to
+// scrapers (JSON snapshot stays the default representation), GET
+// /healthz reports build info and uptime, and -debug-addr starts a
+// second, normally-off listener exposing net/http/pprof — keep it bound
+// to localhost.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -31,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/orchestrator"
 	"repro/internal/trace"
 )
@@ -41,40 +50,89 @@ func main() {
 	cacheDir := flag.String("cache", "", "result cache directory (empty = in-memory only)")
 	cacheCap := flag.Int("cache-entries", 4096, "in-memory result cache capacity")
 	traceDir := flag.String("traces", "", "trace store directory (default: <cache>/traces when -cache is set, else in-memory)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	debugAddr := flag.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled)")
+	version := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+
+	build := obs.Build()
+	if *version {
+		fmt.Println("lnucad", build)
+		return
+	}
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lnucad:", err)
+		os.Exit(2)
+	}
+	log, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lnucad:", err)
+		os.Exit(2)
+	}
 
 	if *traceDir == "" && *cacheDir != "" {
 		*traceDir = filepath.Join(*cacheDir, "traces")
 	}
+	registry := obs.NewRegistry()
 	orch := orchestrator.New(orchestrator.Config{
-		Workers: *workers,
-		Cache:   orchestrator.NewCache(*cacheCap, *cacheDir),
-		Traces:  trace.NewStore(*traceDir),
+		Workers:  *workers,
+		Cache:    orchestrator.NewCache(*cacheCap, *cacheDir),
+		Traces:   trace.NewStore(*traceDir),
+		Logger:   log,
+		Registry: registry,
 	})
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: orchestrator.NewServer(orch),
+		Handler: obs.Middleware(orchestrator.NewServer(orch), log, registry, orchestrator.RouteLabel),
 	}
 
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("lnucad: serving on %s (%d workers, cache %s, traces %s, request schema %s)\n",
-		*addr, *workers, cacheLabel(*cacheDir), cacheLabel(*traceDir), orchestrator.RequestSchema)
+	var debug *http.Server
+	if *debugAddr != "" {
+		// The pprof listener gets its own mux (the handlers register
+		// endpoints like /debug/pprof/heap that must never ride on the
+		// public API address) and is only started on explicit request.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debug = &http.Server{Addr: *debugAddr, Handler: mux}
+		go func() { errc <- debug.ListenAndServe() }()
+		log.Info("pprof debug server enabled", "addr", *debugAddr)
+	}
+	log.Info("lnucad serving",
+		"addr", *addr,
+		"workers", *workers,
+		"cache", cacheLabel(*cacheDir),
+		"traces", cacheLabel(*traceDir),
+		"schema", orchestrator.RequestSchema,
+		"version", build.Version,
+		"commit", build.Commit,
+	)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, "lnucad:", err)
+		log.Error("listener failed", "error", err)
 		orch.Close()
 		os.Exit(1)
 	case s := <-sigc:
-		fmt.Printf("lnucad: %s, draining\n", s)
+		log.Info("signal received, draining", "signal", s.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(ctx)
+	if debug != nil {
+		_ = debug.Shutdown(ctx)
+	}
 	orch.Close()
 }
 

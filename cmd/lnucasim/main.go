@@ -34,6 +34,7 @@ import (
 
 	lightnuca "repro"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/orchestrator"
 	"repro/internal/profiling"
 	"repro/internal/workload"
@@ -54,8 +55,14 @@ func main() {
 		traceFlag  = flag.String("trace", "", "replay this .lntrace file against -hier instead of generating a workload")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		version    = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("lnucasim", obs.Build())
+		return
+	}
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })

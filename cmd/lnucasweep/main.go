@@ -28,6 +28,7 @@ import (
 	lightnuca "repro"
 	"repro/internal/lnuca"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -42,7 +43,13 @@ func main() {
 	jobs := flag.Int("j", 0, "max concurrent sweep points (levels sweep; 0 = GOMAXPROCS)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	version := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("lnucasweep", obs.Build())
+		return
+	}
 
 	prof, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {

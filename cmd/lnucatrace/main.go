@@ -27,6 +27,7 @@ import (
 
 	lightnuca "repro"
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -41,6 +42,8 @@ func main() {
 		cmdInfo(os.Args[2:])
 	case "replay":
 		cmdReplay(os.Args[2:])
+	case "-version", "--version", "version":
+		fmt.Println("lnucatrace", obs.Build())
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:

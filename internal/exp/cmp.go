@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/hier"
 	"repro/internal/stats"
@@ -50,7 +51,10 @@ type MixResult struct {
 	// IPCs over the shared measured window.
 	Throughput float64
 	Stats      *stats.Set
-	Err        error
+	// Phases is the run's wall-time and kernel-activity breakdown
+	// (see Result.Phases).
+	Phases *Phases
+	Err    error
 }
 
 // RunMix is RunMixCtx without cancellation.
@@ -67,22 +71,26 @@ func RunMix(spec MixSpec, mode Mode, seed uint64) MixResult {
 // progress (when non-nil) receives (committed, total) instruction counts
 // summed over cores.
 func RunMixCtx(ctx context.Context, spec MixSpec, mode Mode, seed uint64, progress func(done, total uint64)) MixResult {
-	res := MixResult{Spec: spec}
+	res := MixResult{Spec: spec, Phases: &Phases{}}
 	profs, err := profilesFor(spec.Benchmarks)
 	if err != nil {
 		res.Err = err
 		return res
 	}
+	buildStart := time.Now()
 	sys, err := hier.BuildCMP(spec.Kind, profs, hier.CMPOptions{
 		LNUCALevels:         spec.Levels,
 		Seed:                seed,
 		ShuffleRegistration: spec.ShuffleRegistration,
 		Ungated:             spec.Ungated,
 	})
+	res.Phases.BuildSeconds = time.Since(buildStart).Seconds()
 	if err != nil {
 		res.Err = err
 		return res
 	}
+	kernelStart := sys.Kernel.Stats()
+	warmupStart := time.Now()
 	sys.Prewarm()
 
 	n := uint64(len(profs))
@@ -129,6 +137,8 @@ func RunMixCtx(ctx context.Context, spec MixSpec, mode Mode, seed uint64, progre
 	}
 	startStats := sys.Collect()
 	startCycles := sys.Kernel.Cycle()
+	res.Phases.WarmupSeconds = time.Since(warmupStart).Seconds()
+	measureStart := time.Now()
 	if err := advance(total); err != nil {
 		res.Err = err
 		return res
@@ -138,8 +148,10 @@ func RunMixCtx(ctx context.Context, spec MixSpec, mode Mode, seed uint64, progre
 	res.Stats = stats.Delta(endStats, startStats)
 	res.Cycles = sys.Kernel.Cycle() - startCycles
 	res.PerCore = make([]CoreResult, len(profs))
+	var committedAll uint64
 	for i := range profs {
 		committed := res.Stats.Counter(fmt.Sprintf("c%d.core.committed", i))
+		committedAll += committed
 		cr := CoreResult{Benchmark: spec.Benchmarks[i], Committed: committed}
 		if res.Cycles > 0 {
 			cr.IPC = float64(committed) / float64(res.Cycles)
@@ -147,6 +159,8 @@ func RunMixCtx(ctx context.Context, spec MixSpec, mode Mode, seed uint64, progre
 		res.PerCore[i] = cr
 		res.Throughput += cr.IPC
 	}
+	res.Phases.fillMeasure(committedAll, time.Since(measureStart))
+	res.Phases.fillKernel(sys.Kernel.Stats().Delta(kernelStart))
 	return res
 }
 

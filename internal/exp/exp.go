@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/hier"
@@ -77,7 +78,12 @@ type Result struct {
 	// LoadLat is the measured window's load-latency histogram
 	// (dispatch-to-complete cycles of loads that went to memory).
 	LoadLat *stats.Histogram
-	Err     error
+	// Phases is the run's wall-time and kernel-activity breakdown. It
+	// describes this execution, not the experiment (cached replays of
+	// the same job carry no Phases), so it is excluded from result
+	// identity and from the result cache.
+	Phases *Phases
+	Err    error
 }
 
 // RunOne executes a single measurement: build, functional prewarm, timed
@@ -92,8 +98,10 @@ func RunOne(spec Spec, prof workload.Profile, mode Mode, seed uint64) Result {
 // (when non-nil) receives (committed, total) instruction counts as the
 // run advances. A cancelled run returns ctx.Err() in Result.Err.
 func RunOneCtx(ctx context.Context, spec Spec, prof workload.Profile, mode Mode, seed uint64, progress func(done, total uint64)) Result {
-	res := Result{Spec: spec, Bench: prof}
+	res := Result{Spec: spec, Bench: prof, Phases: &Phases{}}
+	buildStart := time.Now()
 	sys, err := buildOne(spec, prof, mode, seed, nil)
+	res.Phases.BuildSeconds = time.Since(buildStart).Seconds()
 	if err != nil {
 		res.Err = err
 		return res
@@ -118,6 +126,11 @@ func buildOne(spec Spec, prof workload.Profile, mode Mode, seed uint64, stream c
 // recording and replay runs: functional prewarm, timed warmup window,
 // then the measured window (delta statistics).
 func measureOne(ctx context.Context, sys *hier.System, mode Mode, res Result, progress func(done, total uint64)) Result {
+	if res.Phases == nil {
+		res.Phases = &Phases{}
+	}
+	kernelStart := sys.Kernel.Stats()
+	warmupStart := time.Now()
 	total := mode.Warmup + mode.Measure
 	sys.Prewarm()
 
@@ -145,6 +158,8 @@ func measureOne(ctx context.Context, sys *hier.System, mode Mode, res Result, pr
 	startStats := sys.Collect()
 	startCycles := sys.Core.Cycles
 	startLoadLat := sys.Core.LoadLatHist.Clone()
+	res.Phases.WarmupSeconds = time.Since(warmupStart).Seconds()
+	measureStart := time.Now()
 
 	for !sys.Kernel.Stopped() {
 		if err := ctx.Err(); err != nil {
@@ -163,6 +178,8 @@ func measureOne(ctx context.Context, sys *hier.System, mode Mode, res Result, pr
 		res.IPC = float64(committed) / float64(res.Cycles)
 	}
 	res.Energy = sys.Energy(res.Stats, res.Cycles)
+	res.Phases.fillMeasure(committed, time.Since(measureStart))
+	res.Phases.fillKernel(sys.Kernel.Stats().Delta(kernelStart))
 	return res
 }
 

@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/hier"
+	"repro/internal/workload"
+)
+
+// TestPhasesOnGatedFig5Run pins the observability acceptance criterion:
+// a gated run of the Fig. 5 configuration (L-NUCA over the D-NUCA)
+// reports a positive skip ratio and a positive MIPS through its Phases
+// breakdown, with the simulated-time accounting closed (stepped +
+// fast-forwarded cycles cover everything the kernel clocked).
+func TestPhasesOnGatedFig5Run(t *testing.T) {
+	prof, ok := workload.ByName("429.mcf")
+	if !ok {
+		t.Fatal("missing 429.mcf")
+	}
+	res := RunOne(Spec{Kind: hier.LNUCADNUCA, Levels: 3}, prof, Quick, 1)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	ph := res.Phases
+	if ph == nil {
+		t.Fatal("gated run reported no Phases")
+	}
+	if ph.MIPS <= 0 || ph.Instructions == 0 {
+		t.Errorf("MIPS = %v over %d instructions, want positive", ph.MIPS, ph.Instructions)
+	}
+	if ph.SkipRatio <= 0 || ph.SkipRatio >= 1 {
+		t.Errorf("skip ratio = %v, want in (0, 1) for a gated memory-bound run", ph.SkipRatio)
+	}
+	if ph.FastForwardedCycles == 0 || ph.FastForwards == 0 {
+		t.Errorf("no fast-forwarding recorded: cycles=%d jumps=%d", ph.FastForwardedCycles, ph.FastForwards)
+	}
+	if ph.SteppedCycles == 0 {
+		t.Error("no stepped cycles recorded")
+	}
+	if ph.AvgActiveComponents <= 0 {
+		t.Errorf("avg active components = %v, want positive", ph.AvgActiveComponents)
+	}
+	if ph.BuildSeconds < 0 || ph.WarmupSeconds <= 0 || ph.MeasureSeconds <= 0 {
+		t.Errorf("phase wall times = %v/%v/%v, want warmup and measure positive",
+			ph.BuildSeconds, ph.WarmupSeconds, ph.MeasureSeconds)
+	}
+}
+
+// TestPhasesUngatedRunNeverFastForwards: forcing lockstep stepping must
+// report a zero skip ratio and full active-set occupancy.
+func TestPhasesUngatedRunNeverFastForwards(t *testing.T) {
+	prof, ok := workload.ByName("429.mcf")
+	if !ok {
+		t.Fatal("missing 429.mcf")
+	}
+	res := RunOne(Spec{Kind: hier.LNUCAL3, Levels: 3, Ungated: true}, prof, Quick, 1)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	ph := res.Phases
+	if ph.FastForwardedCycles != 0 || ph.FastForwards != 0 || ph.SkipRatio != 0 {
+		t.Errorf("ungated run fast-forwarded: %+v", ph)
+	}
+	if ph.EvalsSkipped != 0 {
+		t.Errorf("ungated run skipped %d Evals", ph.EvalsSkipped)
+	}
+	if ph.SteppedCycles == 0 {
+		t.Error("no stepped cycles recorded")
+	}
+	// Lockstep stepping evaluates every component every cycle.
+	if got := ph.AvgActiveComponents; got != float64(int(got)) || got < 1 {
+		t.Errorf("ungated avg active = %v, want the integral component count", got)
+	}
+}
+
+// TestPhasesOnMixRun: the CMP path reports the same breakdown, with
+// Instructions summed over cores.
+func TestPhasesOnMixRun(t *testing.T) {
+	res := RunMix(MixSpec{
+		Kind:       hier.LNUCAL3,
+		Levels:     3,
+		Benchmarks: []string{"429.mcf", "482.sphinx3"},
+	}, Quick, 1)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	ph := res.Phases
+	if ph == nil {
+		t.Fatal("mix run reported no Phases")
+	}
+	var committed uint64
+	for _, c := range res.PerCore {
+		committed += c.Committed
+	}
+	if ph.Instructions != committed {
+		t.Errorf("phases instructions = %d, per-core sum = %d", ph.Instructions, committed)
+	}
+	if ph.MIPS <= 0 || ph.MeasureSeconds <= 0 || ph.WarmupSeconds <= 0 {
+		t.Errorf("mix phase timings not positive: %+v", ph)
+	}
+	if ph.SteppedCycles == 0 {
+		t.Error("mix run recorded no stepped cycles")
+	}
+}

@@ -11,6 +11,7 @@ package exp
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -30,7 +31,10 @@ func RecordOneCtx(ctx context.Context, spec Spec, prof workload.Profile, mode Mo
 		return res, nil
 	}
 	rec := trace.NewRecorder(gen)
+	res.Phases = &Phases{}
+	buildStart := time.Now()
 	sys, err := buildOne(spec, prof, mode, seed, rec)
+	res.Phases.BuildSeconds = time.Since(buildStart).Seconds()
 	if err != nil {
 		res.Err = err
 		return res, nil
@@ -63,7 +67,10 @@ func ReplayOneCtx(ctx context.Context, spec Spec, tr *trace.Trace, progress func
 		return res
 	}
 	res.Bench = prof
+	res.Phases = &Phases{}
+	buildStart := time.Now()
 	sys, err := buildOne(spec, prof, mode, hdr.Seed, trace.NewReplayer(tr))
+	res.Phases.BuildSeconds = time.Since(buildStart).Seconds()
 	if err != nil {
 		res.Err = err
 		return res

@@ -11,6 +11,7 @@ package hier
 import (
 	"testing"
 
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -24,6 +25,9 @@ func benchSystem(b *testing.B, kind Kind) *System {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Benchmark with an activity probe attached: the 0 allocs/cycle pin
+	// must hold for an instrumented kernel, not just a bare one.
+	sys.Kernel.SetProbe(&sim.CountingProbe{})
 	sys.Prewarm()
 	// Reach steady state: queues, rings and MSHR freelists at their
 	// high-water marks.

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is what /healthz and every CLI's -version flag report:
+// module version, VCS revision, and the Go toolchain that built the
+// binary.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for untagged builds).
+	Version string `json:"version"`
+	// Commit is the VCS revision the binary was built from, suffixed
+	// with "+dirty" when the working tree was modified ("unknown" when
+	// the build carried no VCS stamp, e.g. go test binaries).
+	Commit string `json:"commit"`
+	// GoVersion is the toolchain, e.g. "go1.22.1".
+	GoVersion string `json:"go_version"`
+}
+
+// Build reads the binary's embedded build information.
+func Build() BuildInfo {
+	out := BuildInfo{Version: "(devel)", Commit: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.Main.Version != "" {
+		out.Version = bi.Main.Version
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		out.Commit = rev
+	}
+	return out
+}
+
+// String renders the one-line -version output.
+func (b BuildInfo) String() string {
+	return fmt.Sprintf("version %s commit %s %s", b.Version, b.Commit, b.GoVersion)
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareMetricsAndAccessLog(t *testing.T) {
+	reg := NewRegistry()
+	var logBuf strings.Builder
+	logger, err := NewLogger(&logBuf, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+	route := func(r *http.Request) string {
+		if strings.HasPrefix(r.URL.Path, "/v1/jobs/") {
+			return "/v1/jobs/{id}"
+		}
+		return r.URL.Path
+	}
+	h := Middleware(inner, logger, reg, route)
+
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	paths := []string{"/v1/jobs/abc123", "/v1/jobs/def456", "/missing"}
+	for _, p := range paths {
+		resp, err := http.Get(srv.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header.Get("X-Request-Id") == "" {
+			t.Errorf("%s: missing X-Request-Id header", p)
+		}
+		resp.Body.Close()
+	}
+
+	_, samples := scrape(t, reg)
+	if got := samples[`lnuca_http_requests_total{method="GET",route="/v1/jobs/{id}",code="200"}`]; got != 2 {
+		t.Errorf("normalized-route counter = %v, want 2 (samples: %v)", got, samples)
+	}
+	if got := samples[`lnuca_http_requests_total{method="GET",route="/missing",code="404"}`]; got != 1 {
+		t.Errorf("404 counter = %v, want 1", got)
+	}
+	if got := samples[`lnuca_http_request_seconds_count{method="GET",route="/v1/jobs/{id}"}`]; got != 2 {
+		t.Errorf("latency histogram count = %v, want 2", got)
+	}
+
+	// Access log: one JSON object per request with the expected fields.
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != len(paths) {
+		t.Fatalf("access log has %d lines, want %d:\n%s", len(lines), len(paths), logBuf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("access log line is not JSON: %v", err)
+	}
+	for _, field := range []string{"request_id", "method", "path", "route", "status", "duration_ms"} {
+		if _, ok := rec[field]; !ok {
+			t.Errorf("access log line missing %q: %v", field, rec)
+		}
+	}
+	if rec["route"] != "/v1/jobs/{id}" || rec["status"] != float64(200) {
+		t.Errorf("access log fields wrong: %v", rec)
+	}
+}
+
+func TestMiddlewareNilCollaborators(t *testing.T) {
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}), nil, nil, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Errorf("status = %d, want %d", rec.Code, http.StatusTeapot)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf strings.Builder
+	logger, err := NewLogger(&buf, "text", slog.LevelWarn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("dropped")
+	logger.Warn("kept", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Errorf("level filtering wrong: %q", out)
+	}
+	if _, err := NewLogger(&buf, "yaml", slog.LevelInfo); err == nil {
+		t.Error("NewLogger accepted an unknown format")
+	}
+	Discard().Info("goes nowhere") // must not panic
+}
+
+func TestBuildInfo(t *testing.T) {
+	bi := Build()
+	if bi.GoVersion == "" {
+		t.Error("BuildInfo.GoVersion empty")
+	}
+	s := bi.String()
+	for _, want := range []string{"version", "commit", bi.GoVersion} {
+		if !strings.Contains(s, want) {
+			t.Errorf("BuildInfo.String() = %q, missing %q", s, want)
+		}
+	}
+}

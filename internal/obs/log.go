@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// ParseLevel maps a -log-level flag value onto a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds the structured logger behind lnucad's
+// -log-format/-log-level flags: format is "text" (the default,
+// human-oriented) or "json" (one object per line, machine-oriented).
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+}
+
+// Discard returns a logger that drops every record — the default when
+// a component is constructed without one, so call sites never need a
+// nil check before logging.
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }
+
+// discardHandler is a no-op slog.Handler. (slog gained a stock discard
+// handler only in later Go releases; this module targets go 1.21.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// reqSeq numbers HTTP requests process-wide for the request_id field.
+var reqSeq atomic.Uint64
+
+// nextRequestID returns a short process-unique request identifier.
+func nextRequestID() string { return fmt.Sprintf("r%06d", reqSeq.Add(1)) }

@@ -69,7 +69,18 @@ func (c *Cache) Get(key string) (*JobResult, bool) {
 
 // Put memoizes a result, evicting the least recently used entry when the
 // memory capacity is exceeded and writing through to the file store.
+//
+// Phases are stripped first: they describe one execution (wall times,
+// gating counters), not the job's content, and storing them would make
+// cache entries differ byte-for-byte between e.g. gated and ungated
+// executions of the same job — breaking the determinism contract that
+// identical jobs have identical cache files.
 func (c *Cache) Put(key string, res *JobResult) {
+	if res != nil && res.Phases != nil {
+		cp := *res
+		cp.Phases = nil
+		res = &cp
+	}
 	c.install(key, res)
 	if c.dir != "" {
 		if err := c.save(key, res); err != nil {

@@ -254,6 +254,13 @@ type JobResult struct {
 	LoadLatency *stats.Histogram `json:"load_latency,omitempty"`
 
 	Stats *stats.Set `json:"stats,omitempty"`
+
+	// Phases is the wall-time and kernel-activity breakdown of the run
+	// that produced this result. It describes one execution, not the
+	// job's content: the result cache strips it before storing, so
+	// cached results carry no Phases and cache entries stay byte-stable
+	// across executions.
+	Phases *exp.Phases `json:"phases,omitempty"`
 }
 
 // Valid reports whether a decoded result is structurally plausible: the
@@ -278,6 +285,7 @@ func ResultOf(r exp.Result) *JobResult {
 		Cycles:      r.Cycles,
 		LoadLatency: r.LoadLat,
 		Stats:       r.Stats,
+		Phases:      r.Phases,
 	}
 	for b := power.Bucket(0); b < 4; b++ {
 		out.EnergyPJ[b] = r.Energy.Get(b)
@@ -296,5 +304,6 @@ func MixResultOf(r exp.MixResult, weightedSpeedup float64) *JobResult {
 		ThroughputIPC:   r.Throughput,
 		WeightedSpeedup: weightedSpeedup,
 		Stats:           r.Stats,
+		Phases:          r.Phases,
 	}
 }

@@ -5,12 +5,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/exp"
 	"repro/internal/hier"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -31,6 +33,24 @@ func (s Status) Terminal() bool {
 	return s == StatusDone || s == StatusFailed || s == StatusCanceled
 }
 
+// Timeline is a job's lifecycle history: when it entered each state
+// and how long it spent there. Served inside every JobRecord (GET
+// /v1/jobs/{id}) and summarized in the orchestrator metrics.
+type Timeline struct {
+	// SubmittedAt is when the orchestrator accepted the job.
+	SubmittedAt time.Time `json:"submitted_at"`
+	// StartedAt is when a worker picked the job up (unset while queued
+	// and for cache hits, which never run).
+	StartedAt *time.Time `json:"started_at,omitempty"`
+	// FinishedAt is when the job reached a terminal state.
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// QueueSeconds is the time from submission to pickup — still
+	// accruing for a queued job. RunSeconds is pickup to terminal —
+	// still accruing for a running job.
+	QueueSeconds float64 `json:"queue_seconds"`
+	RunSeconds   float64 `json:"run_seconds,omitempty"`
+}
+
 // JobRecord is the externally visible snapshot of a submitted job.
 type JobRecord struct {
 	ID       string  `json:"id"`
@@ -45,6 +65,9 @@ type JobRecord struct {
 	Coalesced bool       `json:"coalesced,omitempty"`
 	Error     string     `json:"error,omitempty"`
 	Result    *JobResult `json:"result,omitempty"`
+	// Timeline records the submitted -> queued -> running -> terminal
+	// lifecycle with durations.
+	Timeline Timeline `json:"timeline"`
 }
 
 // RunFunc executes one normalized job. The orchestrator cancels ctx to
@@ -222,6 +245,14 @@ type Config struct {
 	// daemon's memory stays bounded; queued and running jobs are never
 	// pruned.
 	RecordCap int
+	// Logger receives structured job-lifecycle events with per-job IDs
+	// (default: discard).
+	Logger *slog.Logger
+	// Registry, when set, exports the orchestrator's operational
+	// counters as Prometheus-style metrics: job totals, queue depth,
+	// queue/run latency histograms, simulator throughput and kernel
+	// activity (see DESIGN.md, "Observability", for the catalog).
+	Registry *obs.Registry
 }
 
 // task is the internal mutable state behind a JobRecord.
@@ -237,6 +268,12 @@ type task struct {
 	canceled bool // cancel requested while still queued
 	seq      uint64
 	heapIdx  int // -1 when not queued
+
+	// Lifecycle timestamps; startedAt/finishedAt are zero until the
+	// transition happens.
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
 
 	progDone, progTotal atomic.Uint64
 }
@@ -259,12 +296,34 @@ type Orchestrator struct {
 	closed   bool
 	wg       sync.WaitGroup
 
-	started   time.Time
-	submitted atomic.Uint64
-	coalesced atomic.Uint64
-	executed  atomic.Uint64 // simulations actually run to completion
-	failed    atomic.Uint64
-	canceled  atomic.Uint64
+	started time.Time
+
+	// Lifecycle counters, guarded by mu and updated in the same critical
+	// section as the state transition they count, so any locked snapshot
+	// satisfies submitted == coalesced + cached + executed + failed +
+	// canceled + queueDepth + running exactly (the metrics-consistency
+	// regression test pins this).
+	submitted uint64
+	coalesced uint64
+	cached    uint64 // submissions served straight from the result cache
+	executed  uint64 // simulations actually run to completion
+	failed    uint64
+	canceled  uint64
+
+	log      *slog.Logger
+	registry *obs.Registry
+
+	// Registry-backed instruments (nil without a Config.Registry). The
+	// Func-style counters read metricsSnap, refreshed once per scrape
+	// via OnScrape, so one scrape is mutually consistent; histograms and
+	// simulator totals are updated live at worker transitions.
+	metricsSnap  atomic.Pointer[Metrics]
+	queueSeconds *obs.Histogram
+	runSeconds   *obs.Histogram
+	runMIPS      *obs.Histogram
+	simSteps     *obs.Counter
+	simSkipped   *obs.Counter
+	simInstr     *obs.Counter
 }
 
 // New starts an orchestrator and its worker pool.
@@ -284,6 +343,9 @@ func New(cfg Config) *Orchestrator {
 	if cfg.RecordCap <= 0 {
 		cfg.RecordCap = 4096
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Discard()
+	}
 	o := &Orchestrator{
 		cfg:     cfg,
 		cache:   cfg.Cache,
@@ -292,13 +354,93 @@ func New(cfg Config) *Orchestrator {
 		byKey:   make(map[string]*task),
 		sweeps:  make(map[string][]string),
 		started: time.Now(),
+		log:     cfg.Logger,
 	}
+	o.metricsSnap.Store(&Metrics{})
 	o.cond = sync.NewCond(&o.mu)
+	if cfg.Registry != nil {
+		o.registry = cfg.Registry
+		o.register(cfg.Registry)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		o.wg.Add(1)
 		go o.worker()
 	}
 	return o
+}
+
+// register exports the orchestrator's operational state on reg. Totals
+// and gauges read a snapshot refreshed once per scrape (all counters in
+// one scrape come from the same locked Metrics() call); latency
+// histograms and simulator totals accumulate live at worker
+// transitions. Registration is get-or-create, so two orchestrators must
+// not share one registry — the second would silently read the first's
+// instruments; lnucad wires exactly one.
+func (o *Orchestrator) register(reg *obs.Registry) {
+	reg.OnScrape(func() {
+		m := o.Metrics()
+		o.metricsSnap.Store(&m)
+	})
+	snap := func(f func(*Metrics) uint64) func() uint64 {
+		return func() uint64 { return f(o.metricsSnap.Load()) }
+	}
+	gauge := func(f func(*Metrics) float64) func() float64 {
+		return func() float64 { return f(o.metricsSnap.Load()) }
+	}
+	reg.CounterFunc("lnuca_jobs_submitted_total",
+		"Jobs accepted by the orchestrator (coalesced and cached submissions included).",
+		snap(func(m *Metrics) uint64 { return m.Submitted }))
+	reg.CounterFunc("lnuca_jobs_coalesced_total",
+		"Submissions merged onto an identical in-flight job.",
+		snap(func(m *Metrics) uint64 { return m.Coalesced }))
+	reg.CounterFunc("lnuca_jobs_cached_total",
+		"Submissions served straight from the result cache.",
+		snap(func(m *Metrics) uint64 { return m.Cached }))
+	reg.CounterFunc("lnuca_jobs_completed_total",
+		"Jobs that reached done: simulations executed plus cache hits.",
+		snap(func(m *Metrics) uint64 { return m.Executed + m.Cached }))
+	reg.CounterFunc("lnuca_runs_executed_total",
+		"Simulations run to completion by the worker pool.",
+		snap(func(m *Metrics) uint64 { return m.Executed }))
+	reg.CounterFunc("lnuca_jobs_failed_total",
+		"Jobs that ended in failure.",
+		snap(func(m *Metrics) uint64 { return m.Failed }))
+	reg.CounterFunc("lnuca_jobs_canceled_total",
+		"Jobs canceled while queued or running.",
+		snap(func(m *Metrics) uint64 { return m.Canceled }))
+	reg.CounterFunc("lnuca_cache_hits_total",
+		"Result-cache hits.",
+		snap(func(m *Metrics) uint64 { return m.CacheHits }))
+	reg.CounterFunc("lnuca_cache_misses_total",
+		"Result-cache misses.",
+		snap(func(m *Metrics) uint64 { return m.CacheMisses }))
+	reg.GaugeFunc("lnuca_queue_depth",
+		"Jobs waiting for a worker.",
+		gauge(func(m *Metrics) float64 { return float64(m.QueueDepth) }))
+	reg.GaugeFunc("lnuca_jobs_running",
+		"Jobs currently simulating.",
+		gauge(func(m *Metrics) float64 { return float64(m.Running) }))
+	reg.GaugeFunc("lnuca_workers",
+		"Size of the worker pool.",
+		gauge(func(m *Metrics) float64 { return float64(m.Workers) }))
+	reg.GaugeFunc("lnuca_uptime_seconds",
+		"Seconds since the orchestrator started.",
+		gauge(func(m *Metrics) float64 { return m.UptimeSeconds }))
+	o.queueSeconds = reg.Histogram("lnuca_job_queue_seconds",
+		"Time jobs spent queued before a worker picked them up.",
+		[]float64{0.001, 0.01, 0.1, 0.5, 1, 5, 30, 120})
+	o.runSeconds = reg.Histogram("lnuca_job_run_seconds",
+		"Wall time jobs spent running on a worker.",
+		[]float64{0.01, 0.1, 0.5, 1, 5, 30, 120, 600})
+	o.runMIPS = reg.Histogram("lnuca_run_mips",
+		"Simulator throughput per executed run, in million committed instructions per wall second.",
+		[]float64{0.5, 1, 2.5, 5, 10, 25, 50, 100})
+	o.simSteps = reg.Counter("lnuca_sim_cycles_total",
+		"Kernel cycles actually executed across all completed runs.")
+	o.simSkipped = reg.Counter("lnuca_sim_fastforwarded_cycles_total",
+		"Kernel cycles skipped by quiescence fast-forwarding across all completed runs.")
+	o.simInstr = reg.Counter("lnuca_sim_instructions_total",
+		"Committed instructions measured across all completed runs.")
 }
 
 // Cache exposes the orchestrator's result cache (shared with CLIs).
@@ -308,19 +450,30 @@ func (o *Orchestrator) Cache() *Cache { return o.cache }
 // and listing surface).
 func (o *Orchestrator) Traces() *trace.Store { return o.traces }
 
+// Registry returns the metrics registry the orchestrator exports on, or
+// nil when none was configured.
+func (o *Orchestrator) Registry() *obs.Registry { return o.registry }
+
+// Uptime reports how long the orchestrator has been running.
+func (o *Orchestrator) Uptime() time.Duration { return time.Since(o.started) }
+
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("orchestrator: closed")
 
 // Submit enqueues a job. Identical content is never computed twice: a
 // cache hit returns an already-done record; a submission identical to a
 // queued or running job coalesces onto it (same ID, Coalesced set).
+//
+// The lifecycle counters are incremented inside the same critical
+// section as the accept decision, so a locked Metrics snapshot always
+// balances: every accepted submission is exactly one of coalesced,
+// cached, queued (still in the queue), running, or terminal.
 func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
 	nj, err := j.Normalize()
 	if err != nil {
 		return JobRecord{}, err
 	}
 	key := nj.Key()
-	o.submitted.Add(1)
 
 	o.mu.Lock()
 	if o.closed {
@@ -331,10 +484,12 @@ func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
 	// its cancellation was already requested, in which case a fresh
 	// submission must not inherit the pending cancel.
 	if live, ok := o.byKey[key]; ok && !live.canceled {
-		o.coalesced.Add(1)
+		o.submitted++
+		o.coalesced++
 		rec := o.snapshot(live)
 		rec.Coalesced = true
 		o.mu.Unlock()
+		o.log.Debug("job coalesced", "job_id", rec.ID, "key", key)
 		return rec, nil
 	}
 	o.mu.Unlock()
@@ -342,18 +497,25 @@ func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
 	// Content-addressed memoization (outside the lock: may touch disk).
 	if res, ok := o.cache.Get(key); ok {
 		o.mu.Lock()
-		defer o.mu.Unlock()
 		if o.closed {
+			o.mu.Unlock()
 			return JobRecord{}, ErrClosed
 		}
+		o.submitted++
+		o.cached++
 		t := o.newTaskLocked(nj, key)
 		t.status = StatusDone
 		t.cached = true
 		t.result = res
+		now := time.Now()
+		t.submittedAt = now
+		t.finishedAt = now
 		t.progDone.Store(1)
 		t.progTotal.Store(1)
 		rec := o.snapshot(t)
 		o.markTerminalLocked(t)
+		o.mu.Unlock()
+		o.log.Info("job cached", "job_id", rec.ID, "key", key)
 		return rec, nil
 	}
 
@@ -366,24 +528,32 @@ func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
 	}
 
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	if o.closed {
+		o.mu.Unlock()
 		return JobRecord{}, ErrClosed
 	}
 	// A concurrent identical submission may have won the race while the
 	// cache was consulted; coalesce late rather than double-compute.
 	if live, ok := o.byKey[key]; ok && !live.canceled {
-		o.coalesced.Add(1)
+		o.submitted++
+		o.coalesced++
 		rec := o.snapshot(live)
 		rec.Coalesced = true
+		o.mu.Unlock()
+		o.log.Debug("job coalesced", "job_id", rec.ID, "key", key)
 		return rec, nil
 	}
+	o.submitted++
 	t := o.newTaskLocked(nj, key)
 	t.status = StatusQueued
+	t.submittedAt = time.Now()
 	o.byKey[key] = t
 	heap.Push(&o.queue, t)
 	o.cond.Signal()
-	return o.snapshot(t), nil
+	rec := o.snapshot(t)
+	o.mu.Unlock()
+	o.log.Info("job submitted", "job_id", rec.ID, "key", key, "priority", nj.Priority)
+	return rec, nil
 }
 
 func (o *Orchestrator) newTaskLocked(j Job, key string) *task {
@@ -467,8 +637,10 @@ func (o *Orchestrator) Cancel(id string) (JobRecord, bool) {
 		}
 		t.status = StatusCanceled
 		t.canceled = true
-		o.canceled.Add(1)
+		t.finishedAt = time.Now()
+		o.canceled++
 		o.markTerminalLocked(t)
+		o.log.Info("job canceled", "job_id", t.id, "key", t.key, "while", "queued")
 	case StatusRunning:
 		t.canceled = true
 		if t.cancel != nil {
@@ -579,6 +751,7 @@ type Metrics struct {
 	Workers       int     `json:"workers"`
 	Submitted     uint64  `json:"jobs_submitted"`
 	Coalesced     uint64  `json:"jobs_coalesced"`
+	Cached        uint64  `json:"jobs_cached"`
 	Executed      uint64  `json:"runs_executed"`
 	Failed        uint64  `json:"runs_failed"`
 	Canceled      uint64  `json:"jobs_canceled"`
@@ -589,32 +762,36 @@ type Metrics struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
-// Metrics snapshots the counters.
+// Metrics snapshots the counters. Queue depth, the running count and
+// every lifecycle counter are read inside one critical section — the
+// same lock their transitions update them under — so the snapshot
+// always balances: Submitted == Coalesced + Cached + Executed + Failed
+// + Canceled + QueueDepth + Running.
 func (o *Orchestrator) Metrics() Metrics {
 	o.mu.Lock()
-	depth := o.queue.Len()
 	running := 0
 	for _, t := range o.records {
 		if t.status == StatusRunning {
 			running++
 		}
 	}
+	m := Metrics{
+		QueueDepth: o.queue.Len(),
+		Running:    running,
+		Workers:    o.cfg.Workers,
+		Submitted:  o.submitted,
+		Coalesced:  o.coalesced,
+		Cached:     o.cached,
+		Executed:   o.executed,
+		Failed:     o.failed,
+		Canceled:   o.canceled,
+	}
 	o.mu.Unlock()
 	up := time.Since(o.started).Seconds()
-	m := Metrics{
-		QueueDepth:    depth,
-		Running:       running,
-		Workers:       o.cfg.Workers,
-		Submitted:     o.submitted.Load(),
-		Coalesced:     o.coalesced.Load(),
-		Executed:      o.executed.Load(),
-		Failed:        o.failed.Load(),
-		Canceled:      o.canceled.Load(),
-		CacheHits:     o.cache.Hits(),
-		CacheMisses:   o.cache.Misses(),
-		CacheHitRate:  o.cache.HitRate(),
-		UptimeSeconds: up,
-	}
+	m.CacheHits = o.cache.Hits()
+	m.CacheMisses = o.cache.Misses()
+	m.CacheHitRate = o.cache.HitRate()
+	m.UptimeSeconds = up
 	if up > 0 {
 		m.RunsPerSecond = float64(m.Executed) / up
 	}
@@ -634,10 +811,11 @@ func (o *Orchestrator) Close() {
 	for o.queue.Len() > 0 {
 		t := heap.Pop(&o.queue).(*task)
 		t.status = StatusCanceled
+		t.finishedAt = time.Now()
 		if o.byKey[t.key] == t {
 			delete(o.byKey, t.key)
 		}
-		o.canceled.Add(1)
+		o.canceled++
 		o.markTerminalLocked(t)
 	}
 	for _, t := range o.records {
@@ -665,9 +843,17 @@ func (o *Orchestrator) worker() {
 		}
 		t := heap.Pop(&o.queue).(*task)
 		t.status = StatusRunning
+		t.startedAt = time.Now()
+		queued := t.startedAt.Sub(t.submittedAt)
 		ctx, cancel := context.WithCancel(context.Background())
 		t.cancel = cancel
 		o.mu.Unlock()
+
+		if o.queueSeconds != nil {
+			o.queueSeconds.Observe(queued.Seconds())
+		}
+		o.log.Info("job started", "job_id", t.id, "key", t.key,
+			"queue_seconds", queued.Seconds())
 
 		res, err := o.cfg.Run(ctx, t.job, func(done, total uint64) {
 			t.progDone.Store(done)
@@ -687,34 +873,79 @@ func (o *Orchestrator) worker() {
 		if o.byKey[t.key] == t {
 			delete(o.byKey, t.key)
 		}
+		t.finishedAt = time.Now()
+		ran := t.finishedAt.Sub(t.startedAt)
 		switch {
 		case err != nil && (errors.Is(err, context.Canceled) || t.canceled):
 			t.status = StatusCanceled
 			t.errMsg = context.Canceled.Error()
-			o.canceled.Add(1)
+			o.canceled++
 		case err != nil:
 			t.status = StatusFailed
 			t.errMsg = err.Error()
-			o.failed.Add(1)
+			o.failed++
 		default:
 			t.status = StatusDone
 			t.result = res
-			o.executed.Add(1)
+			o.executed++
 		}
+		status := t.status
 		o.markTerminalLocked(t)
 		o.mu.Unlock()
+
+		if o.runSeconds != nil {
+			o.runSeconds.Observe(ran.Seconds())
+		}
+		switch status {
+		case StatusDone:
+			o.observeRun(res)
+			o.log.Info("job done", "job_id", t.id, "key", t.key,
+				"run_seconds", ran.Seconds(), "mips", runMIPS(res))
+		case StatusFailed:
+			o.log.Warn("job failed", "job_id", t.id, "key", t.key,
+				"run_seconds", ran.Seconds(), "error", err)
+		default:
+			o.log.Info("job canceled", "job_id", t.id, "key", t.key,
+				"while", "running", "run_seconds", ran.Seconds())
+		}
 	}
+}
+
+// observeRun feeds one executed run's phase breakdown into the
+// simulator metrics.
+func (o *Orchestrator) observeRun(res *JobResult) {
+	if res == nil || res.Phases == nil {
+		return
+	}
+	ph := res.Phases
+	if o.runMIPS != nil && ph.MIPS > 0 {
+		o.runMIPS.Observe(ph.MIPS)
+	}
+	if o.simSteps != nil {
+		o.simSteps.Add(ph.SteppedCycles)
+		o.simSkipped.Add(ph.FastForwardedCycles)
+		o.simInstr.Add(ph.Instructions)
+	}
+}
+
+// runMIPS extracts a result's MIPS for logging (0 when unmeasured).
+func runMIPS(res *JobResult) float64 {
+	if res == nil || res.Phases == nil {
+		return 0
+	}
+	return res.Phases.MIPS
 }
 
 // snapshot renders a task as a JobRecord; callers hold o.mu.
 func (o *Orchestrator) snapshot(t *task) JobRecord {
 	rec := JobRecord{
-		ID:     t.id,
-		Key:    t.key,
-		Job:    t.job,
-		Status: t.status,
-		Cached: t.cached,
-		Error:  t.errMsg,
+		ID:       t.id,
+		Key:      t.key,
+		Job:      t.job,
+		Status:   t.status,
+		Cached:   t.cached,
+		Error:    t.errMsg,
+		Timeline: t.timeline(),
 	}
 	if total := t.progTotal.Load(); total > 0 {
 		p := float64(t.progDone.Load()) / float64(total)
@@ -728,6 +959,36 @@ func (o *Orchestrator) snapshot(t *task) JobRecord {
 		rec.Result = t.result
 	}
 	return rec
+}
+
+// timeline renders the task's lifecycle history. Durations of phases
+// still in progress accrue up to now: a queued job reports its current
+// wait, a running job its current run time.
+func (t *task) timeline() Timeline {
+	tl := Timeline{SubmittedAt: t.submittedAt}
+	if !t.startedAt.IsZero() {
+		at := t.startedAt
+		tl.StartedAt = &at
+		tl.QueueSeconds = t.startedAt.Sub(t.submittedAt).Seconds()
+	}
+	if !t.finishedAt.IsZero() {
+		at := t.finishedAt
+		tl.FinishedAt = &at
+		if !t.startedAt.IsZero() {
+			tl.RunSeconds = t.finishedAt.Sub(t.startedAt).Seconds()
+		} else {
+			// Never ran: canceled while queued, or a cache hit.
+			tl.QueueSeconds = t.finishedAt.Sub(t.submittedAt).Seconds()
+		}
+		return tl
+	}
+	switch {
+	case t.status == StatusQueued:
+		tl.QueueSeconds = time.Since(t.submittedAt).Seconds()
+	case t.status == StatusRunning:
+		tl.RunSeconds = time.Since(t.startedAt).Seconds()
+	}
+	return tl
 }
 
 // taskHeap orders queued tasks by priority (higher first), then by

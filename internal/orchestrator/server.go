@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -24,16 +25,17 @@ import (
 //	GET    /v1/traces/{id} one stored trace's provenance header
 //	GET    /v1/results     direct cache lookup by job content
 //	GET    /v1/benchmarks  the synthetic SPEC CPU2006 catalog
-//	GET    /healthz        liveness
-//	GET    /metrics        queue depth, cache hit rate, runs/s, ...
+//	GET    /healthz        liveness + build info + uptime
+//	GET    /metrics        JSON snapshot, or Prometheus text on request
 type Server struct {
-	orch *Orchestrator
-	mux  *http.ServeMux
+	orch  *Orchestrator
+	mux   *http.ServeMux
+	build obs.BuildInfo
 }
 
 // NewServer wraps an orchestrator in its HTTP API.
 func NewServer(o *Orchestrator) *Server {
-	s := &Server{orch: o, mux: http.NewServeMux()}
+	s := &Server{orch: o, mux: http.NewServeMux(), build: obs.Build()}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
@@ -67,15 +69,72 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":         "ok",
+		"version":        s.build.Version,
+		"commit":         s.build.Commit,
+		"go_version":     s.build.GoVersion,
+		"uptime_seconds": s.orch.Uptime().Seconds(),
+	})
 }
 
+// handleMetrics serves the orchestrator's operational counters. The
+// JSON snapshot is the default (and what Client.Metrics decodes);
+// Prometheus text is selected by ?format=prometheus or an Accept header
+// naming text/plain or openmetrics — which is what an actual Prometheus
+// scraper sends.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
+	if wantsPrometheus(r) {
+		reg := s.orch.Registry()
+		if reg == nil {
+			writeError(w, http.StatusNotAcceptable, "no metrics registry configured; only the JSON snapshot is available")
+			return
+		}
+		w.Header().Set("Content-Type", obs.ContentType)
+		_ = reg.WritePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.orch.Metrics())
+}
+
+// wantsPrometheus decides the /metrics representation: an explicit
+// ?format= always wins, otherwise the Accept header chooses. A browser
+// or bare curl (Accept: */*) keeps getting JSON.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+// RouteLabel collapses a request path onto the API's route patterns so
+// per-job IDs never explode metric label cardinality; unknown paths all
+// share the "other" label. It is the route normalizer lnucad passes to
+// obs.Middleware.
+func RouteLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch p {
+	case "/healthz", "/metrics", "/v1/jobs", "/v1/sweeps", "/v1/traces",
+		"/v1/results", "/v1/benchmarks":
+		return p
+	}
+	switch {
+	case strings.HasPrefix(p, "/v1/jobs/"):
+		return "/v1/jobs/{id}"
+	case strings.HasPrefix(p, "/v1/sweeps/"):
+		return "/v1/sweeps/{id}"
+	case strings.HasPrefix(p, "/v1/traces/"):
+		return "/v1/traces/{id}"
+	}
+	return "other"
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {

@@ -5,11 +5,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // newTestServer wires an httptest server around a stub-backed
@@ -274,7 +278,7 @@ func TestHTTPCancelAndErrors(t *testing.T) {
 
 func TestHTTPHealthzAndBenchmarks(t *testing.T) {
 	ts, _ := newTestServer(t, Config{Workers: 1})
-	var h map[string]string
+	var h map[string]interface{}
 	r, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -282,6 +286,14 @@ func TestHTTPHealthzAndBenchmarks(t *testing.T) {
 	decodeBody(t, r, &h)
 	if h["status"] != "ok" {
 		t.Errorf("healthz = %v", h)
+	}
+	for _, key := range []string{"version", "commit", "go_version"} {
+		if v, _ := h[key].(string); v == "" {
+			t.Errorf("healthz missing %s: %v", key, h)
+		}
+	}
+	if up, ok := h["uptime_seconds"].(float64); !ok || up < 0 {
+		t.Errorf("healthz uptime = %v", h["uptime_seconds"])
 	}
 	var b struct {
 		Benchmarks []string `json:"benchmarks"`
@@ -293,6 +305,103 @@ func TestHTTPHealthzAndBenchmarks(t *testing.T) {
 	decodeBody(t, r, &b)
 	if len(b.Benchmarks) != 28 {
 		t.Errorf("catalog size = %d, want 28", len(b.Benchmarks))
+	}
+}
+
+// TestHTTPMetricsNegotiation: /metrics stays a JSON snapshot by default
+// (the Go client depends on that), and serves Prometheus text when the
+// caller asks for it via Accept or ?format=.
+func TestHTTPMetricsNegotiation(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts, o := newTestServer(t, Config{Workers: 1, Registry: reg})
+
+	rec, err := o.Submit(quickJob("429.mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, o, rec.ID)
+
+	get := func(url, accept string) (*http.Response, string) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, url, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+
+	// Default: JSON, decodable into Metrics.
+	resp, body := get(ts.URL+"/metrics", "")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default content type = %q", ct)
+	}
+	var m Metrics
+	if err := json.Unmarshal([]byte(body), &m); err != nil || m.Submitted != 1 {
+		t.Errorf("default /metrics not the JSON snapshot: %v %+v", err, m)
+	}
+
+	// A Prometheus scraper's Accept header selects the text format.
+	promAccept := "text/plain;version=0.0.4;q=0.5,*/*;q=0.1"
+	resp, body = get(ts.URL+"/metrics", promAccept)
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Errorf("negotiated content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE lnuca_jobs_submitted_total counter",
+		"lnuca_jobs_submitted_total 1",
+		"lnuca_jobs_completed_total 1",
+		"lnuca_job_run_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q:\n%s", want, body)
+		}
+	}
+
+	// ?format= overrides the Accept header in both directions.
+	resp, body = get(ts.URL+"/metrics?format=prometheus", "application/json")
+	if resp.Header.Get("Content-Type") != obs.ContentType || !strings.Contains(body, "lnuca_jobs_submitted_total") {
+		t.Errorf("format=prometheus ignored: %q", resp.Header.Get("Content-Type"))
+	}
+	resp, _ = get(ts.URL+"/metrics?format=json", promAccept)
+	if resp.Header.Get("Content-Type") != "application/json" {
+		t.Errorf("format=json ignored: %q", resp.Header.Get("Content-Type"))
+	}
+
+	// Without a registry, an explicit Prometheus request is a clean 406
+	// rather than a silently different JSON body.
+	ts2, _ := newTestServer(t, Config{Workers: 1})
+	resp, _ = get(ts2.URL+"/metrics?format=prometheus", "")
+	if resp.StatusCode != http.StatusNotAcceptable {
+		t.Errorf("no-registry prometheus status = %d", resp.StatusCode)
+	}
+}
+
+func TestRouteLabel(t *testing.T) {
+	cases := map[string]string{
+		"/healthz":          "/healthz",
+		"/metrics":          "/metrics",
+		"/v1/jobs":          "/v1/jobs",
+		"/v1/jobs/job-7":    "/v1/jobs/{id}",
+		"/v1/sweeps/sw-1":   "/v1/sweeps/{id}",
+		"/v1/traces/abc123": "/v1/traces/{id}",
+		"/v1/benchmarks":    "/v1/benchmarks",
+		"/favicon.ico":      "other",
+		"/v2/jobs":          "other",
+	}
+	for path, want := range cases {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		if got := RouteLabel(req); got != want {
+			t.Errorf("RouteLabel(%s) = %q, want %q", path, got, want)
+		}
 	}
 }
 

@@ -1,0 +1,102 @@
+package sim
+
+import "testing"
+
+// TestProbeObservesGatedRun: with a probe attached, executed cycles,
+// fast-forwards and skipped-cycle totals seen through the probe match
+// the kernel's own counters, and the KernelStats accounting closes:
+// stepped + skipped cycles cover the whole window.
+func TestProbeObservesGatedRun(t *testing.T) {
+	a := &tickComp{name: "a", events: []Cycle{10, 500}}
+	b := &tickComp{name: "b", events: []Cycle{300}}
+	k := NewKernel()
+	k.MustRegister(a)
+	k.MustRegister(b)
+	var p CountingProbe
+	k.SetProbe(&p)
+	k.Run(1000)
+
+	st := k.Stats()
+	if st.Stepped+st.SkippedCycles != 1000 {
+		t.Fatalf("stepped(%d) + skipped(%d) != 1000", st.Stepped, st.SkippedCycles)
+	}
+	if got := p.Cycles.Load(); got != st.Stepped {
+		t.Errorf("probe cycles = %d, kernel stepped = %d", got, st.Stepped)
+	}
+	if got := p.FastForwards.Load(); got != st.FastForwards {
+		t.Errorf("probe fast-forwards = %d, kernel = %d", got, st.FastForwards)
+	}
+	if got := p.SkippedCycles.Load(); got != st.SkippedCycles {
+		t.Errorf("probe skipped = %d, kernel = %d", got, st.SkippedCycles)
+	}
+	if got := p.ActiveEvals.Load(); got != st.ActiveEvals {
+		t.Errorf("probe active evals = %d, kernel = %d", got, st.ActiveEvals)
+	}
+	if st.SkipRatio() <= 0 || st.SkipRatio() >= 1 {
+		t.Errorf("skip ratio = %v, want in (0, 1) for this sparse schedule", st.SkipRatio())
+	}
+	if avg := st.AvgActive(); avg <= 0 || avg > float64(st.Components) {
+		t.Errorf("avg active = %v, want in (0, %d]", avg, st.Components)
+	}
+}
+
+// TestProbeOnPlainSteps: Step() fires OnCycle with active == total, and
+// an ungated kernel never fast-forwards.
+func TestProbeOnPlainSteps(t *testing.T) {
+	k := NewKernel()
+	k.MustRegister(&plainComp{})
+	var p CountingProbe
+	k.SetProbe(&p)
+	for i := 0; i < 25; i++ {
+		k.Step()
+	}
+	if got := p.Cycles.Load(); got != 25 {
+		t.Errorf("probe cycles = %d, want 25", got)
+	}
+	if got := p.ActiveEvals.Load(); got != 25 {
+		t.Errorf("probe active evals = %d, want 25 (1 component x 25 cycles)", got)
+	}
+	if p.FastForwards.Load() != 0 {
+		t.Error("plain stepping fired OnFastForward")
+	}
+	if avg := k.Stats().AvgActive(); avg != 1 {
+		t.Errorf("avg active = %v, want exactly 1", avg)
+	}
+}
+
+// TestProbeDoesNotPerturbResults: attaching a probe must not change a
+// gated run's statistics — same clock, same per-component eval counts.
+func TestProbeDoesNotPerturbResults(t *testing.T) {
+	run := func(probe Probe) (Cycle, uint64, uint64) {
+		a := &tickComp{name: "a", events: []Cycle{7, 40, 41, 900}}
+		b := &tickComp{name: "b", events: []Cycle{40, 600}}
+		k := NewKernel()
+		k.MustRegister(a)
+		k.MustRegister(b)
+		k.SetProbe(probe)
+		k.Run(1000)
+		return k.Cycle(), a.evals, b.evals
+	}
+	c1, a1, b1 := run(nil)
+	c2, a2, b2 := run(&CountingProbe{})
+	if c1 != c2 || a1 != a2 || b1 != b2 {
+		t.Errorf("probe perturbed the run: (%d,%d,%d) vs (%d,%d,%d)", c1, a1, b1, c2, a2, b2)
+	}
+}
+
+// TestStatsDelta: Delta isolates the activity of one window.
+func TestStatsDelta(t *testing.T) {
+	a := &tickComp{name: "a", events: []Cycle{10, 500, 1500}}
+	k := NewKernel()
+	k.MustRegister(a)
+	k.Run(1000)
+	before := k.Stats()
+	k.Run(1000)
+	d := k.Stats().Delta(before)
+	if d.Cycle != 1000 {
+		t.Errorf("delta cycles = %d, want 1000", d.Cycle)
+	}
+	if d.Stepped+d.SkippedCycles != 1000 {
+		t.Errorf("delta stepped(%d) + skipped(%d) != 1000", d.Stepped, d.SkippedCycles)
+	}
+}

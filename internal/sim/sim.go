@@ -9,7 +9,10 @@
 // the simulation is exactly reproducible.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Cycle is a simulation timestamp in processor clock cycles.
 type Cycle = uint64
@@ -64,6 +67,23 @@ type Quiescent interface {
 	SkipTo(now, target Cycle)
 }
 
+// Probe observes kernel progress for metrics and telemetry. The hot
+// loop nil-checks it before every call, so an unprobed kernel pays one
+// predictable branch per cycle and nothing else; a probed kernel pays
+// one interface call with scalar arguments — no allocation either way
+// (hier.BenchmarkStepAllocs pins 0 allocs/cycle with a probe attached).
+//
+// Implementations must not block and must not mutate simulation state;
+// they see activity, they do not steer it.
+type Probe interface {
+	// OnCycle fires once per executed (non-skipped) cycle with the
+	// number of components that evaluated and the total registered.
+	// Fully-stepped cycles report active == total.
+	OnCycle(active, total int)
+	// OnFastForward fires on each bulk clock advance covering [from, to).
+	OnFastForward(from, to Cycle)
+}
+
 // Kernel owns the clock and the component list.
 type Kernel struct {
 	cycle      Cycle
@@ -72,6 +92,7 @@ type Kernel struct {
 	names      map[string]bool
 	stopped    bool
 	gating     bool
+	probe      Probe
 
 	// idle is the per-poll active-set scratch, reused across cycles.
 	idle []bool
@@ -81,6 +102,12 @@ type Kernel struct {
 	// single-component Eval skips on partially-active cycles. Exposed
 	// for tests and the MIPS benchmarks.
 	FastForwards, SkippedCycles, EvalsSkipped uint64
+
+	// SteppedCycles counts cycles actually executed (full or partial
+	// steps — everything except fast-forwarded cycles); ActiveEvals
+	// counts component Evals that ran, so ActiveEvals/SteppedCycles is
+	// the mean active-set occupancy.
+	SteppedCycles, ActiveEvals uint64
 }
 
 // NewKernel returns an empty kernel at cycle 0 with activity gating
@@ -123,6 +150,10 @@ func (k *Kernel) MustRegister(c Component) {
 	}
 }
 
+// SetProbe attaches (or, with nil, detaches) an activity probe. Call
+// before Run; the kernel is not safe for concurrent mutation.
+func (k *Kernel) SetProbe(p Probe) { k.probe = p }
+
 // Cycle returns the current cycle number.
 func (k *Kernel) Cycle() Cycle { return k.cycle }
 
@@ -141,6 +172,11 @@ func (k *Kernel) Step() {
 		c.Commit(k)
 	}
 	k.cycle++
+	k.SteppedCycles++
+	k.ActiveEvals += uint64(len(k.components))
+	if k.probe != nil {
+		k.probe.OnCycle(len(k.components), len(k.components))
+	}
 }
 
 // Run steps the simulation until Stop is called or maxCycles elapse.
@@ -202,28 +238,132 @@ func (k *Kernel) Run(maxCycles uint64) uint64 {
 			k.cycle = wake
 			k.FastForwards++
 			k.SkippedCycles += wake - now
+			if k.probe != nil {
+				k.probe.OnFastForward(now, wake)
+			}
 			continue
 		}
 		// Partial step: Eval the active set, advance the rest by one
 		// arithmetic cycle, Commit everyone.
+		active := 0
 		for i, q := range k.quiescent {
 			if idle[i] {
 				q.SkipTo(now, now+1)
 				k.EvalsSkipped++
 			} else {
 				q.Eval(k)
+				active++
 			}
 		}
 		for _, c := range k.components {
 			c.Commit(k)
 		}
 		k.cycle++
+		k.SteppedCycles++
+		k.ActiveEvals += uint64(active)
+		if k.probe != nil {
+			k.probe.OnCycle(active, len(k.components))
+		}
 	}
 	return k.cycle - start
 }
 
 // NumComponents returns how many components are registered.
 func (k *Kernel) NumComponents() int { return len(k.components) }
+
+// KernelStats is a snapshot of the kernel's activity counters — the
+// raw material for the skip-ratio and occupancy numbers the
+// observability layer publishes.
+type KernelStats struct {
+	// Cycle is the clock at snapshot time (cycles elapsed, in a Delta).
+	Cycle Cycle
+	// Components is the number of registered components.
+	Components int
+	// Stepped counts cycles actually executed; SkippedCycles counts
+	// cycles covered by fast-forwards, so Stepped+SkippedCycles is the
+	// simulated-time total.
+	Stepped uint64
+	// FastForwards counts bulk clock advances.
+	FastForwards uint64
+	// SkippedCycles counts cycles never stepped.
+	SkippedCycles uint64
+	// EvalsSkipped counts single-component Eval skips on
+	// partially-active cycles.
+	EvalsSkipped uint64
+	// ActiveEvals counts component Evals that ran.
+	ActiveEvals uint64
+}
+
+// Stats snapshots the kernel's activity counters.
+func (k *Kernel) Stats() KernelStats {
+	return KernelStats{
+		Cycle:         k.cycle,
+		Components:    len(k.components),
+		Stepped:       k.SteppedCycles,
+		FastForwards:  k.FastForwards,
+		SkippedCycles: k.SkippedCycles,
+		EvalsSkipped:  k.EvalsSkipped,
+		ActiveEvals:   k.ActiveEvals,
+	}
+}
+
+// Delta returns the activity between an earlier snapshot and this one:
+// counter differences, with Cycle holding the cycles elapsed.
+func (s KernelStats) Delta(prev KernelStats) KernelStats {
+	return KernelStats{
+		Cycle:         s.Cycle - prev.Cycle,
+		Components:    s.Components,
+		Stepped:       s.Stepped - prev.Stepped,
+		FastForwards:  s.FastForwards - prev.FastForwards,
+		SkippedCycles: s.SkippedCycles - prev.SkippedCycles,
+		EvalsSkipped:  s.EvalsSkipped - prev.EvalsSkipped,
+		ActiveEvals:   s.ActiveEvals - prev.ActiveEvals,
+	}
+}
+
+// SkipRatio is the fraction of simulated cycles that were
+// fast-forwarded rather than executed: SkippedCycles over
+// Stepped+SkippedCycles. 0 when nothing has run.
+func (s KernelStats) SkipRatio() float64 {
+	total := s.Stepped + s.SkippedCycles
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SkippedCycles) / float64(total)
+}
+
+// AvgActive is the mean number of components evaluated per executed
+// cycle. 0 when nothing has stepped.
+func (s KernelStats) AvgActive() float64 {
+	if s.Stepped == 0 {
+		return 0
+	}
+	return float64(s.ActiveEvals) / float64(s.Stepped)
+}
+
+// CountingProbe is a ready-made Probe that accumulates activity into
+// atomic counters, safe to read while the simulation runs (e.g. from a
+// metrics scrape on another goroutine).
+type CountingProbe struct {
+	// Cycles counts OnCycle firings (executed cycles); ActiveEvals sums
+	// their active-component counts.
+	Cycles, ActiveEvals atomic.Uint64
+	// FastForwards counts OnFastForward firings; SkippedCycles sums the
+	// cycles they covered.
+	FastForwards, SkippedCycles atomic.Uint64
+}
+
+// OnCycle implements Probe.
+func (p *CountingProbe) OnCycle(active, total int) {
+	p.Cycles.Add(1)
+	p.ActiveEvals.Add(uint64(active))
+}
+
+// OnFastForward implements Probe.
+func (p *CountingProbe) OnFastForward(from, to Cycle) {
+	p.FastForwards.Add(1)
+	p.SkippedCycles.Add(to - from)
+}
 
 // Reg is a single-entry register with two-phase semantics: writers set the
 // next value during Eval; readers observe the value latched at the last

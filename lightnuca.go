@@ -51,6 +51,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/hier"
 	"repro/internal/lnuca"
+	"repro/internal/obs"
 	"repro/internal/orchestrator"
 	"repro/internal/power"
 	"repro/internal/sram"
@@ -116,6 +117,21 @@ type SweepStatus = orchestrator.SweepStatus
 
 // Metrics is the lnucad operational counter snapshot (GET /metrics).
 type Metrics = orchestrator.Metrics
+
+// Phases is a run's execution breakdown: per-phase wall time
+// (build/warmup/measure), measured throughput in MIPS, and the gated
+// kernel's activity counters (stepped vs fast-forwarded cycles, skip
+// ratio, average active components). It describes one execution, not the
+// run's content, so it is never part of the cached result.
+type Phases = exp.Phases
+
+// Timeline is a submitted job's lifecycle history: when it was
+// submitted, started and finished, with queue and run durations.
+type Timeline = orchestrator.Timeline
+
+// BuildInfo identifies a binary: module version, VCS commit and Go
+// toolchain, as served by lnucad's GET /healthz and the CLIs' -version.
+type BuildInfo = obs.BuildInfo
 
 // Status is a submitted run's lifecycle state.
 type Status = orchestrator.Status
@@ -185,6 +201,10 @@ type Result struct {
 
 	// Stats exposes every counter the simulator collected.
 	Stats *stats.Set
+
+	// Phases breaks down how this execution spent its time; nil for
+	// cached results, which did not execute.
+	Phases *Phases
 }
 
 // resultFrom converts the orchestrator's servable result into the public
@@ -206,6 +226,10 @@ func resultFrom(key string, jr *orchestrator.JobResult, cached bool) Result {
 		WeightedSpeedup: jr.WeightedSpeedup,
 		LoadLatency:     jr.LoadLatency.Clone(),
 		Stats:           jr.Stats.Clone(),
+	}
+	if jr.Phases != nil {
+		ph := *jr.Phases
+		out.Phases = &ph
 	}
 	for b := power.Bucket(0); b < 4; b++ {
 		out.Energy.Add(b, jr.EnergyPJ[b])

@@ -41,6 +41,39 @@ func TestLocalResultDetachedFromCache(t *testing.T) {
 	}
 }
 
+// TestLocalRunReportsPhases: a fresh run carries its execution
+// breakdown, while a cache hit — which did not execute — carries none.
+func TestLocalRunReportsPhases(t *testing.T) {
+	local := &lightnuca.Local{}
+	req := lightnuca.Request{
+		Hierarchy: "ln+l3", Benchmark: "470.lbm",
+		Warmup: 500, Measure: 2000, Seed: 1,
+	}
+	ctx := context.Background()
+
+	res, err := local.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases == nil {
+		t.Fatal("fresh run reported no Phases")
+	}
+	if res.Phases.MIPS <= 0 || res.Phases.MeasureSeconds <= 0 || res.Phases.SteppedCycles == 0 {
+		t.Errorf("phases = %+v, want positive throughput and stepped cycles", res.Phases)
+	}
+
+	hit, err := local.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Fatal("second run missed the cache")
+	}
+	if hit.Phases != nil {
+		t.Errorf("cache hit carries Phases %+v; execution detail must not be memoized", hit.Phases)
+	}
+}
+
 // TestLocalCoalescesConcurrentRuns: identical concurrent Requests must
 // collapse onto one simulation — exactly one Result comes back
 // freshly simulated, the rest are served from the published entry.
