@@ -179,6 +179,8 @@ type driver struct {
 }
 
 func (d *driver) Name() string { return "driver" }
+
+//lnuca:allow(hotalloc) synthetic ablation load driver; not part of a measured simulation
 func (d *driver) Eval(k *sim.Kernel) {
 	if d.inflight == nil {
 		d.inflight = map[uint64]sim.Cycle{}

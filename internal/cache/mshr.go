@@ -83,12 +83,15 @@ func (f *MSHRFile) Allocate(line mem.Addr, t Target) *MSHR {
 		m = f.freelist[n-1]
 		f.freelist = f.freelist[:n-1]
 		m.Line = line
+		//lnuca:allow(hotalloc) recycled entry appends into its retained Targets capacity
 		m.Targets = append(m.Targets[:0], t)
 		m.SentDown = false
 	} else {
+		//lnuca:allow(hotalloc) first allocation of an entry; the freelist recycles it afterwards
 		m = &MSHR{Line: line, Targets: make([]Target, 1, 1+f.maxSecondary)}
 		m.Targets[0] = t
 	}
+	//lnuca:allow(hotalloc) grows to a high-water mark, then reuses the backing array; steady state is allocation-free
 	f.entries = append(f.entries, m)
 	f.Primary++
 	return m
@@ -101,6 +104,7 @@ func (f *MSHRFile) Merge(m *MSHR, t Target) bool {
 		f.MergeRejects++
 		return false
 	}
+	//lnuca:allow(hotalloc) targets grow to the per-entry secondary cap, then the entry is recycled
 	m.Targets = append(m.Targets, t)
 	f.Secondary++
 	return true
@@ -119,7 +123,9 @@ func (f *MSHRFile) CanMerge(m *MSHR) bool {
 func (f *MSHRFile) Free(line mem.Addr) []Target {
 	for i, m := range f.entries {
 		if m.Line == line {
+			//lnuca:allow(hotalloc) in-place filter into the slice's own backing array; no growth
 			f.entries = append(f.entries[:i], f.entries[i+1:]...)
+			//lnuca:allow(hotalloc) freelist grows to the live-entry high-water mark, then recycles
 			f.freelist = append(f.freelist, m)
 			return m.Targets
 		}

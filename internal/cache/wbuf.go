@@ -47,6 +47,7 @@ func (w *WriteBuffer) Add(line mem.Addr, kind mem.Kind) bool {
 		w.FullRejects++
 		return false
 	}
+	//lnuca:allow(hotalloc) entries grow to the buffer's fixed max, then reuse capacity
 	w.entries = append(w.entries, WBEntry{Line: line, Kind: kind})
 	w.Inserted++
 	return true

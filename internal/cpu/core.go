@@ -329,6 +329,7 @@ func (c *Core) drainStoreBuffer(now sim.Cycle) {
 		return
 	}
 	addr, _ := c.storeBuf.Pop()
+	//lnuca:allow(hotalloc) per-transaction message, not per-cycle; hier.BenchmarkStepAllocs pins steady state at 0 allocs/cycle
 	c.port.Down.Push(&mem.Req{ID: c.ids.Next(), Addr: addr, Kind: mem.Write, Issued: now})
 }
 
@@ -342,15 +343,18 @@ func (c *Core) issueFrom(q []uint64, width int, now sim.Cycle) ([]uint64, int) {
 	kept := q[:0]
 	for _, seq := range q {
 		if used >= width {
+			//lnuca:allow(hotalloc) in-place filter into the slice's own backing array; no growth
 			kept = append(kept, seq)
 			continue
 		}
 		e := c.robAt(seq)
 		if e.dispatched >= now || !c.depReady(seq, e.op.Dep1, now) || !c.depReady(seq, e.op.Dep2, now) {
+			//lnuca:allow(hotalloc) in-place filter into the slice's own backing array; no growth
 			kept = append(kept, seq)
 			continue
 		}
 		if !c.tryExecute(e, now) {
+			//lnuca:allow(hotalloc) in-place filter into the slice's own backing array; no growth
 			kept = append(kept, seq)
 			continue
 		}
@@ -376,6 +380,7 @@ func (c *Core) tryExecute(e *robEntry, now sim.Cycle) bool {
 			return false
 		}
 		id := c.ids.Next()
+		//lnuca:allow(hotalloc) per-transaction message, not per-cycle; hier.BenchmarkStepAllocs pins steady state at 0 allocs/cycle
 		c.port.Down.Push(&mem.Req{ID: id, Addr: e.op.Addr, Kind: mem.Read, Issued: now})
 		c.loadBySeq[id] = e.seq
 		e.issued = true
@@ -466,6 +471,7 @@ func (c *Core) dispatch(now sim.Cycle) {
 				c.blockingSeq = seq
 			}
 		}
+		//lnuca:allow(hotalloc) issue queue grows to a ROB-bounded high-water mark, then reuses
 		*q = append(*q, seq)
 	}
 }

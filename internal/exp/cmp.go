@@ -70,6 +70,8 @@ func RunMix(spec MixSpec, mode Mode, seed uint64) MixResult {
 // multi-programmed methodology. The context is polled between chunks;
 // progress (when non-nil) receives (committed, total) instruction counts
 // summed over cores.
+//
+//lnuca:allow(determinism) Phases wall-time telemetry; stripped at Cache.Put so cached results stay byte-identical
 func RunMixCtx(ctx context.Context, spec MixSpec, mode Mode, seed uint64, progress func(done, total uint64)) MixResult {
 	res := MixResult{Spec: spec, Phases: &Phases{}}
 	profs, err := profilesFor(spec.Benchmarks)

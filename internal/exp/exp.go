@@ -97,6 +97,8 @@ func RunOne(spec Spec, prof workload.Profile, mode Mode, seed uint64) Result {
 // simulation chunks so a long run can be cancelled mid-flight; progress
 // (when non-nil) receives (committed, total) instruction counts as the
 // run advances. A cancelled run returns ctx.Err() in Result.Err.
+//
+//lnuca:allow(determinism) Phases wall-time telemetry; stripped at Cache.Put so cached results stay byte-identical
 func RunOneCtx(ctx context.Context, spec Spec, prof workload.Profile, mode Mode, seed uint64, progress func(done, total uint64)) Result {
 	res := Result{Spec: spec, Bench: prof, Phases: &Phases{}}
 	buildStart := time.Now()
@@ -125,6 +127,8 @@ func buildOne(spec Spec, prof workload.Profile, mode Mode, seed uint64, stream c
 // measureOne is the single-core measurement loop shared by live,
 // recording and replay runs: functional prewarm, timed warmup window,
 // then the measured window (delta statistics).
+//
+//lnuca:allow(determinism) Phases wall-time telemetry; stripped at Cache.Put so cached results stay byte-identical
 func measureOne(ctx context.Context, sys *hier.System, mode Mode, res Result, progress func(done, total uint64)) Result {
 	if res.Phases == nil {
 		res.Phases = &Phases{}

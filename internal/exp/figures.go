@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/area"
 	"repro/internal/hier"
@@ -133,7 +134,13 @@ func Table3(results []Result) []Table3Row {
 			sums[cls] = append(sums[cls], all)
 			ratios[cls] = append(ratios[cls], r.Stats.Scalar("ln.transport_ratio"))
 		}
-		for lvl, acc := range perLevel {
+		lvls := make([]int, 0, len(perLevel))
+		for lvl := range perLevel {
+			lvls = append(lvls, lvl)
+		}
+		sort.Ints(lvls)
+		for _, lvl := range lvls {
+			acc := perLevel[lvl]
 			row.PctByLevel[lvl] = [2]float64{
 				stats.ArithmeticMean(acc[0]), stats.ArithmeticMean(acc[1]),
 			}

@@ -23,6 +23,8 @@ import (
 // generator, so the trace also replays to completion on hierarchies
 // whose cores run further ahead than the recording one did. On error the
 // trace is nil.
+//
+//lnuca:allow(determinism) Phases wall-time telemetry; stripped at Cache.Put so cached results stay byte-identical
 func RecordOneCtx(ctx context.Context, spec Spec, prof workload.Profile, mode Mode, seed uint64, progress func(done, total uint64)) (Result, *trace.Trace) {
 	res := Result{Spec: spec, Bench: prof}
 	gen, err := workload.NewGenerator(prof, seed)
@@ -57,6 +59,8 @@ func RecordOneCtx(ctx context.Context, spec Spec, prof workload.Profile, mode Mo
 // reproduces the recording run's functional prewarm), the seed, and the
 // warmup/measure windows. Replaying on the hierarchy that recorded the
 // trace yields statistics bit-identical to the live run.
+//
+//lnuca:allow(determinism) Phases wall-time telemetry; stripped at Cache.Put so cached results stay byte-identical
 func ReplayOneCtx(ctx context.Context, spec Spec, tr *trace.Trace, progress func(done, total uint64)) Result {
 	hdr := tr.Header
 	mode := Mode{Name: "trace", Warmup: hdr.Warmup, Measure: hdr.Measure}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// AllowName is the synthetic analyzer name under which malformed
+// //lnuca:allow directives are reported. It is always a known name, so
+// a directive can even suppress directive-syntax findings — which the
+// driver has no reason to ever do, but keeps the model uniform.
+const AllowName = "allow"
+
+// allowPrefix introduces a suppression directive comment.
+const allowPrefix = "//lnuca:allow"
+
+// allowRe parses "//lnuca:allow(name) reason": one analyzer name in
+// parentheses, then a mandatory free-text reason.
+var allowRe = regexp.MustCompile(`^//lnuca:allow\(([A-Za-z0-9_-]+)\)\s*(.*)$`)
+
+// allowDirective is one parsed suppression: the analyzer it silences
+// and the source span it covers. A directive written on (or directly
+// above) a statement covers that line; written on the line of a func
+// declaration — or in its doc comment — it covers the whole function.
+type allowDirective struct {
+	analyzer string
+	file     string
+	line     int // line the directive suppresses (the one after a standalone comment)
+	funcSpan [2]int
+}
+
+type allowSet struct {
+	directives []allowDirective
+}
+
+func (s *allowSet) covers(d Diagnostic) bool {
+	for _, a := range s.directives {
+		if a.analyzer != d.Analyzer || a.file != d.Pos.Filename {
+			continue
+		}
+		if a.funcSpan[1] != 0 {
+			if d.Pos.Line >= a.funcSpan[0] && d.Pos.Line <= a.funcSpan[1] {
+				return true
+			}
+			continue
+		}
+		if d.Pos.Line == a.line {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows parses every //lnuca:allow directive in the package.
+// Malformed directives (missing reason, unknown analyzer name) become
+// diagnostics of the "allow" analyzer: a suppression that cannot be
+// trusted is itself a finding, so an unexplained allow can never hide
+// anything.
+func collectAllows(pkg *Package, known map[string]bool) (*allowSet, []Diagnostic) {
+	set := &allowSet{}
+	var diags []Diagnostic
+	report := func(pos token.Position, format string, args ...any) {
+		diags = append(diags, Diagnostic{Pos: pos, Analyzer: AllowName, Message: fmt.Sprintf(format, args...)})
+	}
+	for _, file := range pkg.Files {
+		// Map comment positions to the functions that enclose them (or
+		// that they document), for function-scoped suppression.
+		funcSpans := map[*ast.CommentGroup][2]int{}
+		inlineSpan := func(c *ast.Comment) [2]int {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fnLine := pkg.Fset.Position(fd.Pos()).Line
+				if pkg.Fset.Position(c.Pos()).Line == fnLine {
+					return [2]int{fnLine, pkg.Fset.Position(fd.End()).Line}
+				}
+			}
+			return [2]int{}
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil && fd.Body != nil {
+				funcSpans[fd.Doc] = [2]int{
+					pkg.Fset.Position(fd.Pos()).Line,
+					pkg.Fset.Position(fd.End()).Line,
+				}
+			}
+		}
+		for _, group := range file.Comments {
+			span, isDoc := funcSpans[group]
+			for _, c := range group.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil {
+					report(pos, "malformed suppression %q: want //lnuca:allow(analyzer) reason", text)
+					continue
+				}
+				name, reason := m[1], strings.TrimSpace(m[2])
+				if !known[name] {
+					report(pos, "suppression names unknown analyzer %q", name)
+					continue
+				}
+				if reason == "" {
+					report(pos, "suppression of %q has no reason: every allow must say why", name)
+					continue
+				}
+				d := allowDirective{analyzer: name, file: pos.Filename, line: pos.Line}
+				if isDoc {
+					d.funcSpan = span
+				} else if fs := inlineSpan(c); fs[1] != 0 {
+					// Directive written at the end of the func ... line:
+					// scoped to the whole function.
+					d.funcSpan = fs
+				} else if standalone(pkg.Fset, file, c) {
+					// A comment alone on its line suppresses the line below.
+					d.line = pos.Line + 1
+				}
+				set.directives = append(set.directives, d)
+			}
+		}
+	}
+	return set, diags
+}
+
+// standalone reports whether comment c is the only thing on its line
+// (no code shares the line), in which case it applies to the next line.
+func standalone(fset *token.FileSet, file *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || found {
+			return false
+		}
+		// Only leaf-ish nodes matter; any node starting on the comment's
+		// line before the comment's column means code shares the line.
+		if fset.Position(n.Pos()).Line == line && n.Pos() < c.Pos() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return !found
+}

@@ -1,0 +1,23 @@
+package lint
+
+import "testing"
+
+func TestDeterminismGolden(t *testing.T) {
+	RunGolden(t, "det", Determinism("det"))
+}
+
+// TestDeterminismPathScope: a package outside the configured path set is
+// never analyzed, however many violations it holds.
+func TestDeterminismPathScope(t *testing.T) {
+	pkg, err := LoadDir("testdata/src", "det")
+	if err != nil {
+		t.Fatalf("loading det: %v", err)
+	}
+	diags, _, err := Run([]*Package{pkg}, []*Analyzer{Determinism("somewhere/else")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("determinism scoped to another path reported %d findings, want 0: %v", len(diags), diags)
+	}
+}

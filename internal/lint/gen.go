@@ -1,0 +1,9 @@
+package lint
+
+// Regenerate the committed schema manifest from the current source.
+// Run after a *deliberate* schema change — one that also bumped the
+// schema version string — never to make a red schemastable finding go
+// away while keeping the old version name. CI re-runs this and fails
+// if the committed schemas.json is stale.
+//
+//go:generate go run repro/cmd/lnucalint -write-schemas schemas.json

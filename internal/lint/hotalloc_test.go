@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestHotAllocGolden(t *testing.T) {
+	RunGolden(t, "hot", HotAlloc())
+}

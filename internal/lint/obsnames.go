@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ObsNames returns the analyzer that enforces the observability layer's
+// naming and cardinality contract at every internal/obs registry call
+// site:
+//
+//   - metric names must be compile-time constants (a dynamic name
+//     defeats grep, dashboards, and this very check),
+//   - names match lnuca_[a-z0-9_]+ snake_case,
+//   - counters end in _total; histograms end in a unit suffix
+//     (_seconds, _bytes, _cycles, _ops, _total, _mips, _ratio),
+//   - label names are literal snake_case, at most 4 per metric, and
+//     never one of the unbounded-cardinality names (id, key, path,
+//     url, ... — use a normalizer like orchestrator.RouteLabel).
+func ObsNames() *Analyzer {
+	return &Analyzer{
+		Name: "obsnames",
+		Doc:  "enforce lnuca_* snake_case metric names and label-cardinality rules at obs registry call sites",
+		Run:  runObsNames,
+	}
+}
+
+// obsRegistryMethods maps registry method names to the argument index
+// of the metric name and the index where label names start (-1: none).
+var obsRegistryMethods = map[string]struct {
+	kind       string
+	labelStart int
+}{
+	"Counter":      {"counter", -1},
+	"CounterFunc":  {"counter", -1},
+	"CounterVec":   {"counter", 2},
+	"Gauge":        {"gauge", -1},
+	"GaugeFunc":    {"gauge", -1},
+	"Histogram":    {"histogram", -1},
+	"HistogramVec": {"histogram", 3},
+}
+
+var metricNameRe = regexp.MustCompile(`^lnuca(_[a-z0-9]+)+$`)
+var labelNameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// histogramUnits are accepted terminal suffixes for histogram names.
+var histogramUnits = []string{"_seconds", "_bytes", "_cycles", "_ops", "_total", "_mips", "_ratio"}
+
+// highCardinalityLabels are label names that in practice carry
+// unbounded value sets; each series is a new timeseries, so these melt
+// scrapes. Route-like values must pass through a normalizer first.
+var highCardinalityLabels = map[string]bool{
+	"id": true, "job_id": true, "key": true, "request_id": true,
+	"path": true, "url": true, "query": true, "remote_addr": true,
+	"addr": true, "user_agent": true, "trace": true, "trace_id": true,
+}
+
+// maxMetricLabels bounds the label schema: k labels with v values each
+// is v^k series per family.
+const maxMetricLabels = 4
+
+func runObsNames(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			spec, ok := obsRegistryMethods[sel.Sel.Name]
+			if !ok || !isObsRegistryMethod(pass, sel) || len(call.Args) == 0 {
+				return true
+			}
+			checkMetricName(pass, call, spec.kind)
+			if spec.labelStart >= 0 {
+				checkMetricLabels(pass, call, spec.labelStart)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isObsRegistryMethod reports whether the selector resolves to a method
+// of the obs metrics registry (matched by package: import path suffix
+// "internal/obs", or a package simply named obs in golden tests).
+func isObsRegistryMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return strings.HasSuffix(path, "internal/obs") || path == "obs"
+}
+
+// constString resolves an argument to its compile-time string value.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func checkMetricName(pass *Pass, call *ast.CallExpr, kind string) {
+	arg := call.Args[0]
+	name, ok := constString(pass, arg)
+	if !ok {
+		pass.Report(arg.Pos(), "metric name must be a compile-time string constant so the catalog is greppable")
+		return
+	}
+	if !metricNameRe.MatchString(name) {
+		pass.Report(arg.Pos(), "metric name %q must be lnuca_-prefixed snake_case (lnuca_[a-z0-9_]+)", name)
+		return
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Report(arg.Pos(), "counter %q must end in _total", name)
+		}
+	case "histogram":
+		ok := false
+		for _, u := range histogramUnits {
+			if strings.HasSuffix(name, u) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Report(arg.Pos(), "histogram %q must end in a unit suffix (%s)", name, strings.Join(histogramUnits, ", "))
+		}
+	}
+}
+
+func checkMetricLabels(pass *Pass, call *ast.CallExpr, start int) {
+	if len(call.Args) <= start {
+		return
+	}
+	labels := call.Args[start:]
+	if len(labels) > maxMetricLabels {
+		pass.Report(labels[maxMetricLabels].Pos(), "metric declares %d labels; more than %d multiplies series count beyond what a scrape can hold", len(labels), maxMetricLabels)
+	}
+	for _, l := range labels {
+		name, ok := constString(pass, l)
+		if !ok {
+			pass.Report(l.Pos(), "label name must be a compile-time string constant")
+			continue
+		}
+		if !labelNameRe.MatchString(name) {
+			pass.Report(l.Pos(), "label name %q must be lower snake_case", name)
+			continue
+		}
+		if highCardinalityLabels[name] {
+			pass.Report(l.Pos(), "label %q is unbounded-cardinality; aggregate or normalize the value (e.g. orchestrator.RouteLabel) and rename the label", name)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestObsNamesGolden(t *testing.T) {
+	RunGolden(t, "obsnames", ObsNames())
+}

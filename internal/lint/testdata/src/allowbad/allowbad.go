@@ -1,0 +1,27 @@
+// Package allowbad holds deliberately broken suppression directives.
+// Checked programmatically (allow_test.go), not via // want
+// annotations: a want comment appended to a directive line would become
+// part of the directive's reason text and change what is under test.
+package allowbad
+
+import "time"
+
+// missingReason: a bare directive must not suppress anything; both the
+// directive and the finding it failed to cover are reported.
+func missingReason() int64 {
+	//lnuca:allow(determinism)
+	return time.Now().Unix()
+}
+
+// unknownAnalyzer: a typo'd analyzer name is a finding, and the
+// directive is inert.
+func unknownAnalyzer() int64 {
+	//lnuca:allow(determinisim) timestamps are fine here
+	return time.Now().Unix()
+}
+
+// malformed: no parenthesized analyzer at all.
+func malformed() int64 {
+	//lnuca:allow determinism reason text
+	return time.Now().Unix()
+}

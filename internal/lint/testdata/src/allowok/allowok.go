@@ -1,0 +1,41 @@
+// Package allowok proves the suppression grammar: a well-formed
+// //lnuca:allow(analyzer) reason silences exactly the named analyzer on
+// exactly the covered span — and nothing else.
+package allowok
+
+import "time"
+
+// stampDoc shows func-scoped suppression from the doc comment: every
+// finding of the named analyzer inside the function is covered.
+//
+//lnuca:allow(determinism) wall time feeds log output only, never results
+func stampDoc() (int64, int64) {
+	a := time.Now().Unix()
+	b := time.Now().Unix()
+	return a, b
+}
+
+func stampLine() int64 {
+	//lnuca:allow(determinism) logged only, not part of any result
+	return time.Now().Unix()
+}
+
+func stampInline() int64 {
+	return time.Now().Unix() //lnuca:allow(determinism) logged only, not part of any result
+}
+
+// wrongAnalyzer carries a valid directive for a different analyzer: the
+// determinism finding must survive.
+func wrongAnalyzer() int64 {
+	//lnuca:allow(hotalloc) this names the wrong analyzer on purpose
+	return time.Now().Unix() // want `time.Now reads the wall clock`
+}
+
+// nextLineOnly: a standalone directive covers one line, not the whole
+// block — the second read must survive.
+func nextLineOnly() (int64, int64) {
+	//lnuca:allow(determinism) first read is telemetry
+	a := time.Now().Unix()
+	b := time.Now().Unix() // want `time.Now reads the wall clock`
+	return a, b
+}

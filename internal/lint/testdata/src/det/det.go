@@ -1,0 +1,80 @@
+// Package det exercises the determinism analyzer: wall-clock reads,
+// global RNG draws, and order-dependent map iteration are findings;
+// seeded generators and commutative loop bodies are not.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().Unix() // want `time.Now reads the wall clock`
+}
+
+func pause() {
+	t := time.NewTimer(0) // want `time.NewTimer reads the wall clock`
+	_ = t
+}
+
+func draw() int {
+	return rand.Int() // want `rand.Int draws from the global RNG`
+}
+
+// seeded is the approved pattern: a local generator with a fixed seed.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int()
+}
+
+func keysUnsorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `appends to out in iteration order without sorting`
+		out = append(out, k)
+	}
+	return out
+}
+
+// keysSorted appends in map order but sorts before anyone can observe
+// the order: clean.
+func keysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sum is commutative: compound numeric updates pass.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// copyInto writes through the loop's own key: commutes.
+func copyInto(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func first(m map[string]int) string {
+	for k := range m { // want `returns early`
+		return k
+	}
+	return ""
+}
+
+// anyKey is the fast-forward shape that motivated the check: whichever
+// key the hash order serves last wins.
+func anyKey(m map[string]int) (k string) {
+	for key := range m { // want `overwrites k`
+		k = key
+	}
+	return
+}

@@ -1,0 +1,21 @@
+// Package obs is a minimal stand-in for repro/internal/obs so the
+// obsnames golden package can call registry methods with the real
+// signatures. The analyzer matches it by package path ("obs").
+package obs
+
+type Counter struct{}
+
+func (c *Counter) Add(n uint64) {}
+
+type Registry struct{}
+
+func New() *Registry { return &Registry{} }
+
+func (r *Registry) Counter(name, help string) *Counter             { return &Counter{} }
+func (r *Registry) CounterFunc(name, help string, f func() uint64) {}
+func (r *Registry) CounterVec(name, help string, labels ...string) {}
+func (r *Registry) Gauge(name, help string) *Counter               { return &Counter{} }
+func (r *Registry) GaugeFunc(name, help string, f func() float64)  {}
+func (r *Registry) Histogram(name, help string, buckets []float64) {}
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) {
+}

@@ -1,0 +1,27 @@
+// Package obsnames exercises the obsnames analyzer against the obs
+// stand-in registry.
+package obsnames
+
+import "obs"
+
+var dynamic = "lnuca_dynamic_total"
+
+func register(r *obs.Registry) {
+	// Compliant declarations: no findings.
+	r.Counter("lnuca_jobs_total", "jobs accepted")
+	r.Gauge("lnuca_queue_depth", "queued jobs")
+	r.Histogram("lnuca_run_seconds", "run latency", nil)
+	r.CounterVec("lnuca_http_requests_total", "requests", "method", "route", "code")
+	r.HistogramVec("lnuca_http_request_seconds", "latency", nil, "method", "route")
+
+	r.Counter("jobs_total", "x")               // want `metric name "jobs_total" must be lnuca_-prefixed snake_case`
+	r.Counter("lnuca_jobs", "x")               // want `counter "lnuca_jobs" must end in _total`
+	r.Counter(dynamic, "x")                    // want `metric name must be a compile-time string constant`
+	r.Gauge("lnuca_Queue", "x")                // want `must be lnuca_-prefixed snake_case`
+	r.Histogram("lnuca_run_latency", "x", nil) // want `histogram "lnuca_run_latency" must end in a unit suffix`
+
+	r.CounterVec("lnuca_a_total", "x", "job_id")                // want `label "job_id" is unbounded-cardinality`
+	r.CounterVec("lnuca_b_total", "x", "Method")                // want `label name "Method" must be lower snake_case`
+	r.CounterVec("lnuca_c_total", "x", "a", "b", "c", "d", "e") // want `metric declares 5 labels`
+	r.HistogramVec("lnuca_d_seconds", "x", nil, "path")         // want `label "path" is unbounded-cardinality`
+}

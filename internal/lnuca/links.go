@@ -88,6 +88,7 @@ func (l *ulink) send(b blockMsg) {
 	if !l.on() {
 		panic("lnuca: ulink overflow — caller must check on()")
 	}
+	//lnuca:allow(hotalloc) staged grows to the link-width high-water mark, then reuses
 	l.staged = append(l.staged, b)
 	l.used = true
 	l.Hops++
@@ -119,6 +120,7 @@ func (l *ulink) remove(line mem.Addr) (blockMsg, bool) {
 	for i := range l.items {
 		if l.items[i].line == line {
 			b := l.items[i]
+			//lnuca:allow(hotalloc) in-place filter into the slice's own backing array; no growth
 			l.items = append(l.items[:i], l.items[i+1:]...)
 			return b, true
 		}
@@ -139,6 +141,7 @@ func (l *ulink) contains(line mem.Addr) bool {
 func (l *ulink) len() int { return len(l.items) }
 
 func (l *ulink) tick() {
+	//lnuca:allow(hotalloc) items grow to the link-occupancy high-water mark, then reuse
 	l.items = append(l.items, l.staged...)
 	l.staged = l.staged[:0]
 	l.startLen = len(l.items)

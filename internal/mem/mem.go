@@ -267,6 +267,7 @@ func (m *MainMemory) Eval(k *sim.Kernel) {
 	for m.inFlight.Len() > 0 && m.inFlight.Front().done <= now && m.port.Up.CanPush() {
 		p, _ := m.inFlight.Pop()
 		m.TotalLatency += uint64(now - p.req.Issued)
+		//lnuca:allow(hotalloc) per-transaction message, not per-cycle; hier.BenchmarkStepAllocs pins steady state at 0 allocs/cycle
 		m.port.Up.Push(&Resp{ID: p.req.ID, Addr: p.req.Addr, Done: now})
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -353,6 +354,7 @@ func New(cfg Config) *Orchestrator {
 		records: make(map[string]*task),
 		byKey:   make(map[string]*task),
 		sweeps:  make(map[string][]string),
+		//lnuca:allow(determinism) job lifecycle timestamp; telemetry only, never in result content or keys
 		started: time.Now(),
 		log:     cfg.Logger,
 	}
@@ -455,6 +457,8 @@ func (o *Orchestrator) Traces() *trace.Store { return o.traces }
 func (o *Orchestrator) Registry() *obs.Registry { return o.registry }
 
 // Uptime reports how long the orchestrator has been running.
+//
+//lnuca:allow(determinism) operational uptime telemetry, not result content
 func (o *Orchestrator) Uptime() time.Duration { return time.Since(o.started) }
 
 // ErrClosed is returned by Submit after Close.
@@ -507,6 +511,7 @@ func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
 		t.status = StatusDone
 		t.cached = true
 		t.result = res
+		//lnuca:allow(determinism) job lifecycle timestamp; telemetry only, never in result content or keys
 		now := time.Now()
 		t.submittedAt = now
 		t.finishedAt = now
@@ -546,6 +551,7 @@ func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
 	o.submitted++
 	t := o.newTaskLocked(nj, key)
 	t.status = StatusQueued
+	//lnuca:allow(determinism) job lifecycle timestamp; telemetry only, never in result content or keys
 	t.submittedAt = time.Now()
 	o.byKey[key] = t
 	heap.Push(&o.queue, t)
@@ -608,11 +614,18 @@ func (o *Orchestrator) Lookup(j Job) (*JobResult, bool, error) {
 func (o *Orchestrator) List(status Status) []JobRecord {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	out := make([]JobRecord, 0, len(o.records))
+	// Records live in a map; present them in submission order so
+	// /v1/jobs listings are stable across calls.
+	tasks := make([]*task, 0, len(o.records))
 	for _, t := range o.records {
 		if status != "" && t.status != status {
 			continue
 		}
+		tasks = append(tasks, t)
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].seq < tasks[j].seq })
+	out := make([]JobRecord, 0, len(tasks))
+	for _, t := range tasks {
 		out = append(out, o.snapshot(t))
 	}
 	return out
@@ -637,6 +650,7 @@ func (o *Orchestrator) Cancel(id string) (JobRecord, bool) {
 		}
 		t.status = StatusCanceled
 		t.canceled = true
+		//lnuca:allow(determinism) job lifecycle timestamp; telemetry only, never in result content or keys
 		t.finishedAt = time.Now()
 		o.canceled++
 		o.markTerminalLocked(t)
@@ -787,6 +801,7 @@ func (o *Orchestrator) Metrics() Metrics {
 		Canceled:   o.canceled,
 	}
 	o.mu.Unlock()
+	//lnuca:allow(determinism) operational uptime metric, not result content
 	up := time.Since(o.started).Seconds()
 	m.CacheHits = o.cache.Hits()
 	m.CacheMisses = o.cache.Misses()
@@ -811,6 +826,7 @@ func (o *Orchestrator) Close() {
 	for o.queue.Len() > 0 {
 		t := heap.Pop(&o.queue).(*task)
 		t.status = StatusCanceled
+		//lnuca:allow(determinism) job lifecycle timestamp; telemetry only, never in result content or keys
 		t.finishedAt = time.Now()
 		if o.byKey[t.key] == t {
 			delete(o.byKey, t.key)
@@ -818,6 +834,7 @@ func (o *Orchestrator) Close() {
 		o.canceled++
 		o.markTerminalLocked(t)
 	}
+	//lnuca:allow(determinism) cancellation order is unobservable; every remaining task is canceled regardless of order
 	for _, t := range o.records {
 		if t.status == StatusRunning && t.cancel != nil {
 			t.cancel()
@@ -843,6 +860,7 @@ func (o *Orchestrator) worker() {
 		}
 		t := heap.Pop(&o.queue).(*task)
 		t.status = StatusRunning
+		//lnuca:allow(determinism) job lifecycle timestamp; telemetry only, never in result content or keys
 		t.startedAt = time.Now()
 		queued := t.startedAt.Sub(t.submittedAt)
 		ctx, cancel := context.WithCancel(context.Background())
@@ -873,6 +891,7 @@ func (o *Orchestrator) worker() {
 		if o.byKey[t.key] == t {
 			delete(o.byKey, t.key)
 		}
+		//lnuca:allow(determinism) job lifecycle timestamp; telemetry only, never in result content or keys
 		t.finishedAt = time.Now()
 		ran := t.finishedAt.Sub(t.startedAt)
 		switch {
@@ -984,8 +1003,10 @@ func (t *task) timeline() Timeline {
 	}
 	switch {
 	case t.status == StatusQueued:
+		//lnuca:allow(determinism) live queue duration for status reporting, not result content
 		tl.QueueSeconds = time.Since(t.submittedAt).Seconds()
 	case t.status == StatusRunning:
+		//lnuca:allow(determinism) live run duration for status reporting, not result content
 		tl.RunSeconds = time.Since(t.startedAt).Seconds()
 	}
 	return tl

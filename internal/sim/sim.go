@@ -211,6 +211,7 @@ func (k *Kernel) Run(maxCycles uint64) uint64 {
 		return k.cycle - start
 	}
 	if cap(k.idle) < len(k.quiescent) {
+		//lnuca:allow(hotalloc) one-time lazy scratch allocation; reused by every subsequent Run
 		k.idle = make([]bool, len(k.quiescent))
 	}
 	idle := k.idle[:len(k.quiescent)]

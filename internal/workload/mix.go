@@ -56,8 +56,8 @@ func init() {
 	mixPools["int"] = ints
 	mixPools["fp"] = fps
 	mixPools["mixed"] = mixed
-	for name, pool := range mixPools {
-		for _, b := range pool {
+	for _, name := range MixNames() {
+		for _, b := range mixPools[name] {
 			if _, ok := ByName(b); !ok {
 				panic(fmt.Sprintf("workload: mix %q names unknown benchmark %q", name, b))
 			}
