@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -32,6 +34,19 @@ type Client struct {
 	HTTPClient *http.Client
 	// PollInterval spaces Wait's status polls (default 50ms).
 	PollInterval time.Duration
+
+	// MaxRetries bounds how many times an idempotent request (a GET —
+	// polls, lookups, catalog reads) is retried after a transient
+	// failure: a connection error, a 5xx, or a 429 from the service's
+	// backpressure layer. Delays between attempts follow a jittered
+	// exponential backoff, and a 429's Retry-After header overrides the
+	// computed delay. Zero means the default (3); negative disables
+	// retries. Mutating requests are never retried.
+	MaxRetries int
+	// RetryBaseDelay seeds the backoff (default 100ms); RetryMaxDelay
+	// caps it (default 2s).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
 }
 
 // NewClient returns a Client for a lnucad address; a bare "host:port"
@@ -75,8 +90,27 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 
 // doRaw is the transport under do: an arbitrary request body (nil for
 // none), the service's error envelope decoded into APIError on non-2xx,
-// and the response decoded into out when non-nil.
+// and the response decoded into out when non-nil. Idempotent requests
+// (body-less GETs) are retried on transient failures per MaxRetries.
 func (c *Client) doRaw(ctx context.Context, method, path string, body io.Reader, contentType string, out interface{}) error {
+	retries := c.maxRetries()
+	if method != http.MethodGet || body != nil {
+		retries = 0 // only idempotent, replayable requests retry
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.doOnce(ctx, method, path, body, contentType, out)
+		if err == nil || attempt >= retries || !transient(err) {
+			return err
+		}
+		if werr := c.backoffWait(ctx, attempt, err); werr != nil {
+			return err
+		}
+	}
+}
+
+// doOnce is a single request round trip.
+func (c *Client) doOnce(ctx context.Context, method, path string, body io.Reader, contentType string, out interface{}) error {
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return fmt.Errorf("lightnuca: %s %s: %w", method, path, err)
@@ -97,7 +131,13 @@ func (c *Client) doRaw(ctx context.Context, method, path string, body io.Reader,
 		if e.Error == "" {
 			e.Error = resp.Status
 		}
-		return &APIError{Status: resp.StatusCode, Message: e.Error}
+		apiErr := &APIError{Status: resp.StatusCode, Message: e.Error}
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, perr := strconv.Atoi(s); perr == nil && secs >= 0 {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return apiErr
 	}
 	if out == nil {
 		return nil
@@ -108,10 +148,70 @@ func (c *Client) doRaw(ctx context.Context, method, path string, body io.Reader,
 	return nil
 }
 
+func (c *Client) maxRetries() int {
+	switch {
+	case c.MaxRetries > 0:
+		return c.MaxRetries
+	case c.MaxRetries < 0:
+		return 0
+	}
+	return 3
+}
+
+// transient reports whether err is worth retrying: a transport-level
+// failure (connection refused, reset, timeout — anything that never
+// produced a response) or a service answer that promises the condition
+// will pass (429 backpressure, 5xx).
+func transient(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status == http.StatusTooManyRequests || apiErr.Status >= 500
+	}
+	// No decoded response: treat context cancellation as final, every
+	// other transport failure as transient.
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// backoffWait sleeps out the delay before retry number attempt+1: a
+// jittered exponential backoff, overridden by the server's Retry-After
+// on a 429. Returns non-nil when ctx ends the wait early.
+func (c *Client) backoffWait(ctx context.Context, attempt int, cause error) error {
+	base := c.RetryBaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := c.RetryMaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	delay := base << attempt
+	if delay > max || delay <= 0 {
+		delay = max
+	}
+	// Full jitter in [delay/2, delay): desynchronizes a fleet of
+	// clients hammering a recovering service.
+	delay = delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+	var apiErr *APIError
+	if errors.As(cause, &apiErr) && apiErr.RetryAfter > 0 {
+		delay = apiErr.RetryAfter
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // APIError is a non-2xx service response.
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the parsed Retry-After header of a 429, zero when
+	// absent — the delay the service asks a backing-off client to hold.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {

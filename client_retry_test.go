@@ -1,0 +1,168 @@
+package lightnuca
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler fails the first n requests with status, then delegates.
+func flakyHandler(n int64, status int, hdr map[string]string, next http.Handler) (http.Handler, *atomic.Int64) {
+	var calls atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			for k, v := range hdr {
+				w.Header().Set(k, v)
+			}
+			w.WriteHeader(status)
+			w.Write([]byte(`{"error":"induced failure"}`))
+			return
+		}
+		next.ServeHTTP(w, r)
+	}), &calls
+}
+
+func okJSON(body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(body))
+	})
+}
+
+func retryClient(url string) *Client {
+	c := NewClient(url)
+	c.RetryBaseDelay = time.Millisecond
+	c.RetryMaxDelay = 5 * time.Millisecond
+	return c
+}
+
+func TestClientRetriesTransient5xx(t *testing.T) {
+	// Two 500s, then success: the GET survives without the caller
+	// noticing.
+	h, calls := flakyHandler(2, http.StatusInternalServerError, nil, okJSON(`{}`))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	if err := retryClient(srv.URL).Health(context.Background()); err != nil {
+		t.Fatalf("health after transient 500s: %v", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 failures + 1 success)", n)
+	}
+}
+
+func TestClientRetries429HonoringRetryAfter(t *testing.T) {
+	// A 429 with Retry-After: the client must hold at least that long
+	// before the next attempt.
+	h, calls := flakyHandler(1, http.StatusTooManyRequests,
+		map[string]string{"Retry-After": "1"}, okJSON(`{}`))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	start := time.Now()
+	if err := retryClient(srv.URL).Health(context.Background()); err != nil {
+		t.Fatalf("health after 429: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("client retried after %v, Retry-After demanded >= 1s", elapsed)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("server saw %d requests, want 2", n)
+	}
+}
+
+func TestClientRetriesConnectionRefused(t *testing.T) {
+	// A dead service: connection errors are transient, so every retry
+	// is spent before the error surfaces.
+	srv := httptest.NewServer(okJSON(`{}`))
+	url := srv.URL
+	srv.Close() // nothing listens here any more
+
+	c := retryClient(url)
+	c.MaxRetries = 2
+	start := time.Now()
+	err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("health against a dead service must fail")
+	}
+	// Two backoff waits happened (1 initial + 2 retries).
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("error came back in %v — no backoff happened", elapsed)
+	}
+}
+
+func TestClientRetryGivesUpAfterBudget(t *testing.T) {
+	// A persistently failing endpoint: the caller gets the APIError
+	// after exactly 1 + MaxRetries attempts.
+	h, calls := flakyHandler(1<<30, http.StatusServiceUnavailable, nil, okJSON(`{}`))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := retryClient(srv.URL)
+	c.MaxRetries = 2
+	err := c.Health(context.Background())
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want APIError 503", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3 (1 + 2 retries)", n)
+	}
+}
+
+func TestClientDoesNotRetryMutations(t *testing.T) {
+	// POST /v1/jobs is not idempotent from the client's view: a 500
+	// surfaces immediately, after exactly one request.
+	h, calls := flakyHandler(1<<30, http.StatusInternalServerError, nil, okJSON(`{}`))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := retryClient(srv.URL)
+	_, err := c.Submit(context.Background(), Request{Hierarchy: "L2", Benchmark: "403.gcc", Mode: "quick", Seed: 1})
+	if err == nil {
+		t.Fatal("submit against a failing service must fail")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d requests, want 1 (mutations never retry)", n)
+	}
+}
+
+func TestClientDoesNotRetryTerminalStatuses(t *testing.T) {
+	// A 404 is an answer, not an outage.
+	h, calls := flakyHandler(1<<30, http.StatusNotFound, nil, okJSON(`{}`))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	_, err := retryClient(srv.URL).Job(context.Background(), "job-000001")
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("err = %v, want 404", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d requests, want 1 (4xx answers never retry)", n)
+	}
+}
+
+func TestClientRetryStopsOnContextCancel(t *testing.T) {
+	// Cancellation mid-backoff returns promptly instead of burning the
+	// whole retry budget.
+	h, _ := flakyHandler(1<<30, http.StatusServiceUnavailable, nil, okJSON(`{}`))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := retryClient(srv.URL)
+	c.MaxRetries = 50
+	c.RetryBaseDelay = 10 * time.Second // would block forever without cancel
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("health must fail when the context expires")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancel took %v to take effect", elapsed)
+	}
+}

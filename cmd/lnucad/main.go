@@ -18,18 +18,36 @@
 // names its directory explicitly, and defaults to <cache>/traces when
 // -cache is set (in-memory otherwise).
 //
+// Distributed execution: -fleet turns the daemon into a fleet
+// coordinator — jobs are dispatched over the /fleet/v1 lease protocol to
+// pull-based workers instead of simulated in-process, while every API,
+// cache and content-key behaviour stays identical. A worker is the same
+// binary in -worker mode:
+//
+//	lnucad -fleet -addr :8347 -cache /var/lib/lnuca/results   # coordinator
+//	lnucad -worker -coordinator http://coord:8347             # each worker
+//
+// The queue journal (-journal, defaulting to <cache>/journal.jsonl when
+// -cache is set) records every submission and terminal transition; a
+// restarted daemon replays the still-pending jobs, and the shared store
+// makes already-computed points cache hits rather than re-simulations.
+// -queue-cap bounds the queue (excess submissions are answered 429 +
+// Retry-After) and -submit-rps/-submit-burst rate-limit submissions per
+// client address.
+//
 // Observability: every request is access-logged (structured, -log-format
 // text|json at -log-level), GET /metrics serves Prometheus text to
-// scrapers (JSON snapshot stays the default representation), GET
-// /healthz reports build info and uptime, and -debug-addr starts a
-// second, normally-off listener exposing net/http/pprof — keep it bound
-// to localhost.
+// scrapers (JSON snapshot stays the default representation; fleet mode
+// adds the lnuca_fleet_* series), GET /healthz reports build info and
+// uptime, and -debug-addr starts a second, normally-off listener exposing
+// net/http/pprof — keep it bound to localhost.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -39,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/orchestrator"
 	"repro/internal/trace"
@@ -46,10 +65,20 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8347", "listen address")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers (fleet mode: concurrent dispatches)")
 	cacheDir := flag.String("cache", "", "result cache directory (empty = in-memory only)")
 	cacheCap := flag.Int("cache-entries", 4096, "in-memory result cache capacity")
 	traceDir := flag.String("traces", "", "trace store directory (default: <cache>/traces when -cache is set, else in-memory)")
+	journalPath := flag.String("journal", "", "queue journal file for restart resumability (default: <cache>/journal.jsonl when -cache is set; empty = no journal)")
+	queueCap := flag.Int("queue-cap", 0, "bound on queued jobs; past it submissions get 429 + Retry-After (0 = unbounded)")
+	submitRPS := flag.Float64("submit-rps", 0, "per-client submit rate limit, requests/second (0 = unlimited)")
+	submitBurst := flag.Int("submit-burst", 8, "per-client submit burst on top of -submit-rps")
+	fleetMode := flag.Bool("fleet", false, "coordinate a worker fleet: dispatch jobs over /fleet/v1 instead of simulating in-process")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "fleet mode: how long a silent worker holds a lease before its job is requeued")
+	maxAttempts := flag.Int("max-attempts", 3, "fleet mode: lease attempts per job before it fails terminally")
+	workerMode := flag.Bool("worker", false, "run as a fleet worker: pull jobs from -coordinator instead of serving the API")
+	coordinatorURL := flag.String("coordinator", "", "coordinator base URL for -worker mode, e.g. http://host:8347")
+	workerName := flag.String("worker-name", "", "worker name reported to the coordinator (default: hostname)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	debugAddr := flag.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled)")
@@ -76,17 +105,88 @@ func main() {
 	if *traceDir == "" && *cacheDir != "" {
 		*traceDir = filepath.Join(*cacheDir, "traces")
 	}
+
+	if *workerMode {
+		if *coordinatorURL == "" {
+			fmt.Fprintln(os.Stderr, "lnucad: -worker requires -coordinator")
+			os.Exit(2)
+		}
+		os.Exit(runWorker(log, *coordinatorURL, *workerName, *cacheDir, *cacheCap, *traceDir))
+	}
+
+	if *journalPath == "" && *cacheDir != "" {
+		*journalPath = filepath.Join(*cacheDir, "journal.jsonl")
+	}
+	var journal *orchestrator.Journal
+	if *journalPath != "" {
+		journal, err = orchestrator.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lnucad:", err)
+			os.Exit(1)
+		}
+	}
+
 	registry := obs.NewRegistry()
-	orch := orchestrator.New(orchestrator.Config{
+	traces := trace.NewStore(*traceDir)
+	ocfg := orchestrator.Config{
 		Workers:  *workers,
 		Cache:    orchestrator.NewCache(*cacheCap, *cacheDir),
-		Traces:   trace.NewStore(*traceDir),
+		Traces:   traces,
 		Logger:   log,
 		Registry: registry,
-	})
+		QueueCap: *queueCap,
+		Journal:  journal,
+	}
+	var coord *fleet.Coordinator
+	routeLabel := orchestrator.RouteLabel
+	if *fleetMode {
+		coord = fleet.NewCoordinator(fleet.Config{
+			LeaseTTL:    *leaseTTL,
+			MaxAttempts: *maxAttempts,
+			Traces:      traces,
+			Logger:      log,
+			Registry:    registry,
+		})
+		ocfg.Run = coord.Dispatch
+		routeLabel = fleet.RouteLabel
+	}
+	orch := orchestrator.New(ocfg)
+
+	// A restarted daemon owes its clients the queue it died with:
+	// resubmit every journaled job that never reached a terminal state.
+	// Points the previous incarnation finished are cache hits here —
+	// nothing stored is ever re-simulated.
+	if journal != nil {
+		pending := journal.Pending()
+		for _, req := range pending {
+			job, jerr := req.Job()
+			if jerr != nil {
+				log.Warn("journal holds an unparseable request; dropping", "error", jerr)
+				continue
+			}
+			if _, serr := orch.Submit(job); serr != nil {
+				log.Warn("journal replay submission rejected", "error", serr)
+			}
+		}
+		if len(pending) > 0 {
+			log.Info("journal replayed", "pending_jobs", len(pending), "journal", journal.Path())
+		}
+	}
+
+	api := orchestrator.NewServer(orch)
+	if *submitRPS > 0 {
+		api.SetSubmitLimit(*submitRPS, *submitBurst)
+	}
+	var handler http.Handler = api
+	if coord != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/fleet/v1/", coord.Handler())
+		mux.Handle("/", api)
+		handler = mux
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: obs.Middleware(orchestrator.NewServer(orch), log, registry, orchestrator.RouteLabel),
+		Handler: obs.Middleware(handler, log, registry, routeLabel),
 	}
 
 	errc := make(chan error, 2)
@@ -109,8 +209,10 @@ func main() {
 	log.Info("lnucad serving",
 		"addr", *addr,
 		"workers", *workers,
+		"mode", modeLabel(*fleetMode),
 		"cache", cacheLabel(*cacheDir),
 		"traces", cacheLabel(*traceDir),
+		"journal", cacheLabel(*journalPath),
 		"schema", orchestrator.RequestSchema,
 		"version", build.Version,
 		"commit", build.Commit,
@@ -118,11 +220,11 @@ func main() {
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	exitCode := 0
 	select {
 	case err := <-errc:
 		log.Error("listener failed", "error", err)
-		orch.Close()
-		os.Exit(1)
+		exitCode = 1
 	case s := <-sigc:
 		log.Info("signal received, draining", "signal", s.String())
 	}
@@ -133,7 +235,56 @@ func main() {
 	if debug != nil {
 		_ = debug.Shutdown(ctx)
 	}
+	// Orchestrator first — its shutdown unwinds every blocked fleet
+	// dispatch — then the coordinator's reaper, then the journal (whose
+	// still-pending entries are exactly what the next start replays).
 	orch.Close()
+	if coord != nil {
+		coord.Close()
+	}
+	if journal != nil {
+		_ = journal.Close()
+	}
+	os.Exit(exitCode)
+}
+
+// runWorker is -worker mode: a pull-based fleet execution node. It holds
+// no API listener and no durable state the fleet depends on — killing a
+// worker mid-job only costs the coordinator a lease timeout and a retry
+// elsewhere. Its cache and trace store (worker-local, optionally
+// disk-backed via -cache / -traces) only save it work: results flow back
+// over the lease protocol, and the coordinator's store is the one that
+// counts.
+func runWorker(log *slog.Logger, coordinator, name, cacheDir string, cacheCap int, traceDir string) int {
+	if name == "" {
+		if host, err := os.Hostname(); err == nil {
+			name = host
+		} else {
+			name = "worker"
+		}
+	}
+	w := fleet.NewWorker(fleet.WorkerConfig{
+		Coordinator: coordinator,
+		Name:        name,
+		Cache:       orchestrator.NewCache(cacheCap, cacheDir),
+		Traces:      trace.NewStore(traceDir),
+		Logger:      log,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := w.Run(ctx); err != nil && err != context.Canceled {
+		log.Warn("worker stopped", "error", err)
+		return 1
+	}
+	log.Info("worker drained", "worker", name)
+	return 0
+}
+
+func modeLabel(fleetMode bool) string {
+	if fleetMode {
+		return "fleet-coordinator"
+	}
+	return "local"
 }
 
 func cacheLabel(dir string) string {

@@ -39,6 +39,7 @@ var benchNames = []string{"403.gcc", "429.mcf", "482.sphinx3", "434.zeusmp"}
 func main() {
 	ablate := flag.String("ablate", "levels", "routing|buffers|tilesize|levels")
 	instr := flag.Uint64("instr", 30000, "instructions per run")
+	server := flag.String("server", "", "lnucad address: run the levels sweep through the service (and its worker fleet) instead of in-process")
 	cacheDir := flag.String("cache", "", "result cache directory shared with lnucad (levels sweep only)")
 	jobs := flag.Int("j", 0, "max concurrent sweep points (levels sweep; 0 = GOMAXPROCS)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -55,10 +56,18 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	// One Local runner for the whole invocation: every runner-backed
-	// sweep shares its cache and coalescing, so nothing simulates twice
-	// and the final cache statistics are meaningful end to end.
-	runner := &lightnuca.Local{CacheDir: *cacheDir}
+	// One runner for the whole invocation: every runner-backed sweep
+	// shares its cache and coalescing, so nothing simulates twice and
+	// the final cache statistics are meaningful end to end. With
+	// -server the runner is the lnucad client — same lnuca-run-v1
+	// requests, same content keys, execution on the service (or its
+	// worker fleet) instead of in this process.
+	var runner lightnuca.Runner
+	if *server != "" {
+		runner = lightnuca.NewClient(*server)
+	} else {
+		runner = &lightnuca.Local{CacheDir: *cacheDir}
+	}
 
 	err = runSweep(*ablate, *instr, *cacheDir, *jobs, runner)
 	if perr := prof.Stop(); err == nil {
@@ -74,7 +83,7 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func runSweep(ablate string, instr uint64, cacheDir string, jobs int, runner *lightnuca.Local) error {
+func runSweep(ablate string, instr uint64, cacheDir string, jobs int, runner lightnuca.Runner) error {
 	switch ablate {
 	case "routing":
 		return sweepFabric("transport routing", []fabricVariant{
@@ -231,7 +240,7 @@ func (d *driver) Commit(k *sim.Kernel) {
 // the one shared Local runner, up to -j points at a time; with -cache
 // the content-addressed store persists on disk and is shared with
 // lnucad.
-func sweepLevels(instr uint64, cacheDir string, jobs int, runner *lightnuca.Local) error {
+func sweepLevels(instr uint64, cacheDir string, jobs int, runner lightnuca.Runner) error {
 	var reqs []lightnuca.Request
 	for levels := 2; levels <= 6; levels++ {
 		for _, name := range benchNames {
@@ -266,11 +275,13 @@ func sweepLevels(instr uint64, cacheDir string, jobs int, runner *lightnuca.Loca
 			hm, stats.SpeedupPercent(hm, base))
 	}
 	fmt.Println(t)
-	hits, misses := runner.CacheStats()
-	where := "in memory"
-	if cacheDir != "" {
-		where = cacheDir
+	if local, ok := runner.(*lightnuca.Local); ok {
+		hits, misses := local.CacheStats()
+		where := "in memory"
+		if cacheDir != "" {
+			where = cacheDir
+		}
+		fmt.Printf("result cache: %d hits, %d misses (%s)\n", hits, misses, where)
 	}
-	fmt.Printf("result cache: %d hits, %d misses (%s)\n", hits, misses, where)
 	return nil
 }

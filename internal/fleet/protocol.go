@@ -1,0 +1,75 @@
+// Package fleet distributes the orchestrator's job execution across
+// worker processes: a coordinator owns the job queue, the result cache
+// and the trace store, and stateless workers pull leased jobs over
+// HTTP, execute them through the same Runner machinery as a local run,
+// and push results back by content hash.
+//
+// The coordinator plugs into the orchestrator as its RunFunc
+// (Coordinator.Dispatch), so every invariant the single-process daemon
+// provides — singleflight coalescing, content-addressed caching,
+// balanced lifecycle counters, byte-identical lnuca-job-v2 cache
+// entries — holds unchanged when execution is remote. The orchestrator
+// worker pool becomes the dispatch-concurrency bound; each in-process
+// worker blocks while its job runs on a fleet worker somewhere else.
+package fleet
+
+import "repro/internal/orchestrator"
+
+// Lease-protocol routes, mounted next to the orchestrator API. Workers
+// are clients of these three POST endpoints plus the trace fetch.
+const (
+	PathLease     = "/fleet/v1/lease"
+	PathHeartbeat = "/fleet/v1/heartbeat"
+	PathComplete  = "/fleet/v1/complete"
+	PathTraces    = "/fleet/v1/traces/"
+)
+
+// LeaseRequest asks the coordinator for one job. Worker is a
+// self-reported name used for logs and the active-worker gauge; it
+// carries no trust.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants one job under a lease. The worker must
+// heartbeat before HeartbeatSeconds elapses or the coordinator requeues
+// the job for someone else; a late Complete is answered 410.
+//
+// The job travels as its declarative lnuca-run-v1 request — the same
+// schema every other entry path uses — plus the coordinator's expected
+// content key, which the worker verifies after normalizing.
+type LeaseResponse struct {
+	LeaseID          string               `json:"lease_id"`
+	JobID            string               `json:"job_id"`
+	Key              string               `json:"key"`
+	Request          orchestrator.Request `json:"request"`
+	Attempt          int                  `json:"attempt"`
+	HeartbeatSeconds float64              `json:"heartbeat_seconds"`
+}
+
+// HeartbeatRequest keeps a lease alive and forwards execution progress
+// (committed instruction counts, surfaced verbatim in job polling).
+type HeartbeatRequest struct {
+	LeaseID string `json:"lease_id"`
+	Done    uint64 `json:"done"`
+	Total   uint64 `json:"total"`
+}
+
+// HeartbeatResponse carries the coordinator's cancellation signal: when
+// Cancel is set the submitter gave up on the job and the worker should
+// abort the run.
+type HeartbeatResponse struct {
+	Cancel bool `json:"cancel"`
+}
+
+// CompleteRequest finishes a lease, with either a result or an error.
+// Retryable distinguishes infrastructure failures (a trace fetch that
+// timed out — requeue with backoff) from deterministic simulation
+// errors, which would fail identically on any worker and are terminal
+// immediately.
+type CompleteRequest struct {
+	LeaseID   string                  `json:"lease_id"`
+	Result    *orchestrator.JobResult `json:"result,omitempty"`
+	Error     string                  `json:"error,omitempty"`
+	Retryable bool                    `json:"retryable,omitempty"`
+}

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/orchestrator"
+)
+
+// Handler exposes the coordinator's lease protocol as an http.Handler.
+// lnucad mounts it next to the orchestrator API on the same listener,
+// so one address serves both the public job API and the worker fleet.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathLease, c.handleLease)
+	mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
+	mux.HandleFunc(PathComplete, c.handleComplete)
+	mux.HandleFunc(PathTraces, c.handleTraceFetch)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad lease body: %v", err)
+		return
+	}
+	if req.Worker == "" {
+		writeError(w, http.StatusBadRequest, "lease request names no worker")
+		return
+	}
+	resp := c.Lease(req.Worker)
+	if resp == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad heartbeat body: %v", err)
+		return
+	}
+	cancel, ok := c.Heartbeat(req.LeaseID, req.Done, req.Total)
+	if !ok {
+		writeError(w, http.StatusGone, "lease %s is no longer held — abort the run", req.LeaseID)
+		return
+	}
+	writeJSON(w, http.StatusOK, HeartbeatResponse{Cancel: cancel})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad complete body: %v", err)
+		return
+	}
+	if !c.Complete(req) {
+		writeError(w, http.StatusGone, "lease %s is no longer held — the job was requeued", req.LeaseID)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleTraceFetch serves a stored trace's raw lnuca-trace-v1 frame to
+// a worker whose local store misses the hash a leased job names.
+func (c *Coordinator) handleTraceFetch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, PathTraces)
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "bad trace path %q", r.URL.Path)
+		return
+	}
+	tr, err := c.cfg.Traces.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	data, err := tr.Encode()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// RouteLabel normalizes fleet API paths for metric labels and falls
+// back to the orchestrator's normalizer for everything else — the one
+// route function a fleet-backed lnucad hands to obs.Middleware.
+func RouteLabel(r *http.Request) string {
+	switch p := r.URL.Path; p {
+	case PathLease, PathHeartbeat, PathComplete:
+		return p
+	default:
+		if strings.HasPrefix(p, PathTraces) {
+			return PathTraces + "{id}"
+		}
+	}
+	return orchestrator.RouteLabel(r)
+}

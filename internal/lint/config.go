@@ -37,6 +37,8 @@ func DeterminismPackages() []string {
 		"repro/internal/area",
 		"repro/internal/tech",
 		"repro/internal/timing",
+		"repro/internal/fleet",
+		"repro/internal/pqueue",
 	}
 }
 

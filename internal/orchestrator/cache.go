@@ -172,9 +172,28 @@ func (c *Cache) save(key string, res *JobResult) error {
 	if err != nil {
 		return err
 	}
-	tmp := c.path(key) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	// Write-to-temp + atomic rename, with a unique temp name per writer:
+	// concurrent processes (fleet workers, a coordinator, CLIs sharing
+	// one cache dir) may persist the same key at once, and a shared temp
+	// path would let one writer rename the other's half-written file.
+	// Identical content makes the race benign — last rename wins with the
+	// same bytes.
+	tmp, err := os.CreateTemp(c.dir, "."+key+".tmp-*")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, c.path(key))
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,254 @@
+package orchestrator
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Journal is the orchestrator's append-only queue-state log: one JSON
+// line per job-lifecycle event, written next to the result cache. It is
+// what makes sweeps survive a coordinator restart — on reopen, every
+// job that was submitted but never reached a terminal state is pending
+// again, and resubmitting it re-dedups against the content-addressed
+// store (already-computed points are cache hits, never re-simulated).
+//
+// Two event shapes share the file:
+//
+//	{"op":"submit","id":"job-000123","key":"<sha256>","request":{...}}  // lnuca-run-v1
+//	{"op":"end","id":"job-000123","key":"<sha256>","status":"done"}
+//
+// Events are matched by content key, counting submits against ends, so
+// the journal is insensitive to append interleaving (a stub job can
+// reach its terminal state before the submit append lands) and to a
+// cancel-then-resubmit reusing a key. A crash-truncated final line is
+// skipped on load, costing at worst one duplicate resubmission — which
+// the orchestrator's coalescing and cache make free.
+//
+// Graceful shutdown (Orchestrator.Close) deliberately does not write
+// end events for the jobs it cancels: a drained queue is exactly what
+// must come back after a restart. Only API cancels and real
+// done/failed/canceled transitions end a journal entry.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	pending []Request // loaded at open, in first-submission order
+
+	// credit holds one token per key the open-time compaction kept a
+	// submit line for. The first resubmission of such a key consumes the
+	// token instead of appending a second submit line — the compacted
+	// line already represents it — so replaying Pending() does not
+	// double-count. An unconsumed token means the owner never replayed
+	// that key, and its compacted line rightly keeps it pending.
+	credit map[string]int
+}
+
+// journalEvent is one line of the journal file.
+type journalEvent struct {
+	Op      string   `json:"op"` // "submit" or "end"
+	ID      string   `json:"id,omitempty"`
+	Key     string   `json:"key"`
+	Status  Status   `json:"status,omitempty"`
+	Request *Request `json:"request,omitempty"`
+}
+
+// OpenJournal opens (creating if needed) the journal at path, loads the
+// still-pending submissions, and compacts the file down to exactly
+// those — so the journal's size tracks the live queue, not the
+// service's whole history. The caller resubmits Pending() through
+// Orchestrator.Submit, which re-journals each one.
+func OpenJournal(path string) (*Journal, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("orchestrator: journal dir: %w", err)
+	}
+	pending, err := loadPending(path)
+	if err != nil {
+		return nil, err
+	}
+	// Compact: rewrite the file with one submit line per pending key,
+	// atomically, before any new event is appended.
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".compact-*")
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: journal compact: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for i := range pending {
+		req := pending[i]
+		key, kerr := req.Key()
+		if kerr != nil {
+			continue // a request the current schema no longer accepts
+		}
+		if err := enc.Encode(journalEvent{Op: "submit", Key: key, Request: &req}); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return nil, fmt.Errorf("orchestrator: journal compact: %w", err)
+		}
+	}
+	if err := w.Flush(); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("orchestrator: journal compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("orchestrator: journal compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("orchestrator: journal compact: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: journal open: %w", err)
+	}
+	credit := make(map[string]int, len(pending))
+	for i := range pending {
+		if key, err := pending[i].Key(); err == nil {
+			credit[key]++
+		}
+	}
+	return &Journal{f: f, path: path, pending: pending, credit: credit}, nil
+}
+
+// loadPending replays the journal file and returns the requests whose
+// submit count exceeds their end count, in first-submission order. A
+// missing file is an empty journal; unparseable lines (a crash mid-
+// append truncates at most the last one) are skipped.
+func loadPending(path string) ([]Request, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: journal load: %w", err)
+	}
+	defer f.Close()
+	type entry struct {
+		open  int // submits minus ends
+		first int // line of first submission, for stable ordering
+		req   Request
+	}
+	entries := map[string]*entry{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev journalEvent
+		if err := json.Unmarshal(raw, &ev); err != nil || ev.Key == "" {
+			continue // truncated or foreign line
+		}
+		e := entries[ev.Key]
+		switch ev.Op {
+		case "submit":
+			if ev.Request == nil {
+				continue
+			}
+			if e == nil {
+				e = &entry{first: line, req: *ev.Request}
+				entries[ev.Key] = e
+			}
+			e.open++
+		case "end":
+			if e != nil && e.open > 0 {
+				e.open--
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("orchestrator: journal load: %w", err)
+	}
+	var open []*entry
+	for _, e := range entries {
+		if e.open > 0 {
+			open = append(open, e)
+		}
+	}
+	sort.Slice(open, func(i, j int) bool { return open[i].first < open[j].first })
+	out := make([]Request, len(open))
+	for i, e := range open {
+		out[i] = e.req
+	}
+	return out, nil
+}
+
+// Pending returns the requests that were submitted but not terminal
+// when the journal was opened — the queue a restarted coordinator must
+// resubmit. The slice is a copy.
+func (j *Journal) Pending() []Request {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Request(nil), j.pending...)
+}
+
+// Path returns the journal file's location.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the journal file. Pending state stays on disk.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// submitted records a job entering the queue. A key the open-time
+// compaction already wrote a line for consumes its replay credit
+// instead of appending a duplicate.
+func (j *Journal) submitted(id, key string, req Request) {
+	j.mu.Lock()
+	if j.credit[key] > 0 {
+		j.credit[key]--
+		j.mu.Unlock()
+		return
+	}
+	j.mu.Unlock()
+	j.append(journalEvent{Op: "submit", ID: id, Key: key, Request: &req})
+}
+
+// ended records a job reaching a terminal state.
+func (j *Journal) ended(id, key string, status Status) {
+	j.append(journalEvent{Op: "end", ID: id, Key: key, Status: status})
+}
+
+// append writes one event line and syncs it: the journal exists to
+// survive crashes, so an event the orchestrator acted on must be on
+// disk before the next one. Event volume is one line per job lifecycle
+// transition — far off any hot path.
+func (j *Journal) append(ev journalEvent) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orchestrator: journal marshal: %v\n", err)
+		return
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return
+	}
+	if _, err := j.f.Write(data); err != nil {
+		fmt.Fprintf(os.Stderr, "orchestrator: journal append: %v\n", err)
+		return
+	}
+	if err := j.f.Sync(); err != nil {
+		fmt.Fprintf(os.Stderr, "orchestrator: journal sync: %v\n", err)
+	}
+}

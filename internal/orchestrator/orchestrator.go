@@ -1,7 +1,6 @@
 package orchestrator
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -14,6 +13,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/hier"
 	"repro/internal/obs"
+	"repro/internal/pqueue"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -254,6 +254,16 @@ type Config struct {
 	// queue/run latency histograms, simulator throughput and kernel
 	// activity (see DESIGN.md, "Observability", for the catalog).
 	Registry *obs.Registry
+	// QueueCap, when positive, bounds the number of queued jobs. Submit
+	// returns ErrQueueFull once the queue is at capacity (coalesced and
+	// cache-hit submissions are never rejected — they consume no queue
+	// slot). The HTTP layer maps the error to 429 + Retry-After.
+	QueueCap int
+	// Journal, when set, records every queue transition so a restarted
+	// daemon can resubmit the jobs that were queued or running when it
+	// died (see Journal). The orchestrator appends to it; the owner
+	// replays Pending() after construction and closes it on shutdown.
+	Journal *Journal
 }
 
 // task is the internal mutable state behind a JobRecord.
@@ -288,7 +298,7 @@ type Orchestrator struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queue    taskHeap
+	queue    *pqueue.Queue[*task]
 	records  map[string]*task // by job ID
 	byKey    map[string]*task // singleflight: content key -> live task
 	sweeps   map[string][]string
@@ -351,6 +361,7 @@ func New(cfg Config) *Orchestrator {
 		cfg:     cfg,
 		cache:   cfg.Cache,
 		traces:  cfg.Traces,
+		queue:   newTaskQueue(),
 		records: make(map[string]*task),
 		byKey:   make(map[string]*task),
 		sweeps:  make(map[string][]string),
@@ -464,6 +475,12 @@ func (o *Orchestrator) Uptime() time.Duration { return time.Since(o.started) }
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("orchestrator: closed")
 
+// ErrQueueFull is returned by Submit when Config.QueueCap is set and
+// the queue is at capacity. It signals backpressure, not failure: the
+// HTTP layer maps it to 429 with a Retry-After hint, and clients retry
+// with backoff. Coalesced and cache-hit submissions are never rejected.
+var ErrQueueFull = errors.New("orchestrator: queue full")
+
 // Submit enqueues a job. Identical content is never computed twice: a
 // cache hit returns an already-done record; a submission identical to a
 // queued or running job coalesces onto it (same ID, Coalesced set).
@@ -520,6 +537,13 @@ func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
 		rec := o.snapshot(t)
 		o.markTerminalLocked(t)
 		o.mu.Unlock()
+		// Balance a possibly replayed journal entry for this key: a
+		// pending submission resubmitted after a restart may now be a
+		// cache hit, and without an end event it would stay pending in
+		// the journal forever. Unmatched end events are ignored on load.
+		if o.cfg.Journal != nil {
+			o.cfg.Journal.ended(t.id, key, StatusDone)
+		}
 		o.log.Info("job cached", "job_id", rec.ID, "key", key)
 		return rec, nil
 	}
@@ -548,16 +572,25 @@ func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
 		o.log.Debug("job coalesced", "job_id", rec.ID, "key", key)
 		return rec, nil
 	}
+	// Backpressure: a bounded queue rejects rather than buffers without
+	// limit. Coalesced and cached submissions never reach this point.
+	if o.cfg.QueueCap > 0 && o.queue.Len() >= o.cfg.QueueCap {
+		o.mu.Unlock()
+		return JobRecord{}, ErrQueueFull
+	}
 	o.submitted++
 	t := o.newTaskLocked(nj, key)
 	t.status = StatusQueued
 	//lnuca:allow(determinism) job lifecycle timestamp; telemetry only, never in result content or keys
 	t.submittedAt = time.Now()
 	o.byKey[key] = t
-	heap.Push(&o.queue, t)
+	o.queue.Push(t)
 	o.cond.Signal()
 	rec := o.snapshot(t)
 	o.mu.Unlock()
+	if o.cfg.Journal != nil {
+		o.cfg.Journal.submitted(t.id, key, RequestOf(nj))
+	}
 	o.log.Info("job submitted", "job_id", rec.ID, "key", key, "priority", nj.Priority)
 	return rec, nil
 }
@@ -643,7 +676,7 @@ func (o *Orchestrator) Cancel(id string) (JobRecord, bool) {
 	switch t.status {
 	case StatusQueued:
 		if t.heapIdx >= 0 {
-			heap.Remove(&o.queue, t.heapIdx)
+			o.queue.RemoveAt(t.heapIdx)
 		}
 		if o.byKey[t.key] == t {
 			delete(o.byKey, t.key)
@@ -654,6 +687,12 @@ func (o *Orchestrator) Cancel(id string) (JobRecord, bool) {
 		t.finishedAt = time.Now()
 		o.canceled++
 		o.markTerminalLocked(t)
+		// An explicit cancel is journaled (unlike the implicit ones during
+		// Close): the user asked for the job not to run, so a restart must
+		// not resurrect it.
+		if o.cfg.Journal != nil {
+			o.cfg.Journal.ended(t.id, t.key, StatusCanceled)
+		}
 		o.log.Info("job canceled", "job_id", t.id, "key", t.key, "while", "queued")
 	case StatusRunning:
 		t.canceled = true
@@ -823,8 +862,11 @@ func (o *Orchestrator) Close() {
 		return
 	}
 	o.closed = true
+	// Shutdown cancellations are deliberately NOT journaled: a drained
+	// queue is exactly the state a restarted daemon must resubmit, so the
+	// journal keeps these jobs pending.
 	for o.queue.Len() > 0 {
-		t := heap.Pop(&o.queue).(*task)
+		t, _ := o.queue.Pop()
 		t.status = StatusCanceled
 		//lnuca:allow(determinism) job lifecycle timestamp; telemetry only, never in result content or keys
 		t.finishedAt = time.Now()
@@ -858,7 +900,7 @@ func (o *Orchestrator) worker() {
 			o.mu.Unlock()
 			return
 		}
-		t := heap.Pop(&o.queue).(*task)
+		t, _ := o.queue.Pop()
 		t.status = StatusRunning
 		//lnuca:allow(determinism) job lifecycle timestamp; telemetry only, never in result content or keys
 		t.startedAt = time.Now()
@@ -909,8 +951,15 @@ func (o *Orchestrator) worker() {
 			o.executed++
 		}
 		status := t.status
+		closing := o.closed
 		o.markTerminalLocked(t)
 		o.mu.Unlock()
+
+		// Journal the terminal transition — except for jobs the shutdown
+		// itself canceled, which must stay pending for the restart replay.
+		if o.cfg.Journal != nil && !(closing && status == StatusCanceled) {
+			o.cfg.Journal.ended(t.id, t.key, status)
+		}
 
 		if o.runSeconds != nil {
 			o.runSeconds.Observe(ran.Seconds())
@@ -1010,35 +1059,4 @@ func (t *task) timeline() Timeline {
 		tl.RunSeconds = time.Since(t.startedAt).Seconds()
 	}
 	return tl
-}
-
-// taskHeap orders queued tasks by priority (higher first), then by
-// submission order (earlier first).
-type taskHeap []*task
-
-func (h taskHeap) Len() int { return len(h) }
-func (h taskHeap) Less(i, j int) bool {
-	if h[i].job.Priority != h[j].job.Priority {
-		return h[i].job.Priority > h[j].job.Priority
-	}
-	return h[i].seq < h[j].seq
-}
-func (h taskHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heapIdx = i
-	h[j].heapIdx = j
-}
-func (h *taskHeap) Push(x interface{}) {
-	t := x.(*task)
-	t.heapIdx = len(*h)
-	*h = append(*h, t)
-}
-func (h *taskHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.heapIdx = -1
-	*h = old[:n-1]
-	return t
 }

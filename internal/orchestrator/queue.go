@@ -1,0 +1,19 @@
+package orchestrator
+
+import "repro/internal/pqueue"
+
+// newTaskQueue builds the job queue: a priority heap ordered by
+// priority (higher first), then by submission order (earlier first).
+// Index tracking through task.heapIdx lets Cancel remove a queued task
+// without searching the heap.
+func newTaskQueue() *pqueue.Queue[*task] {
+	return pqueue.New(
+		func(a, b *task) bool {
+			if a.job.Priority != b.job.Priority {
+				return a.job.Priority > b.job.Priority
+			}
+			return a.seq < b.seq
+		},
+		func(t *task, idx int) { t.heapIdx = idx },
+	)
+}

@@ -1,0 +1,74 @@
+package orchestrator
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket guarding the public submit
+// endpoints: each client refills at rps tokens per second up to burst,
+// and a submission costs one token. It shields the daemon from a
+// misbehaving client monopolizing the bounded queue — the complement of
+// ErrQueueFull, which throttles aggregate load.
+//
+// The limiter takes the current time as an argument instead of reading
+// a clock, so its arithmetic is deterministic and directly testable.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rps     float64
+	burst   float64
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxRateBuckets bounds the per-client map; beyond it, idle (full)
+// buckets are pruned. A full bucket carries no throttling state, so
+// dropping it is behaviorally invisible to that client.
+const maxRateBuckets = 4096
+
+func newRateLimiter(rps float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rps:     rps,
+		burst:   float64(burst),
+		buckets: make(map[string]*tokenBucket),
+	}
+}
+
+// allow reports whether client may submit at now; when throttled, wait
+// is how long until one token is available (the Retry-After hint).
+func (l *rateLimiter) allow(client string, now time.Time) (ok bool, wait time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[client]
+	if b == nil {
+		if len(l.buckets) >= maxRateBuckets {
+			//lnuca:allow(determinism) pruning order is unobservable; any full bucket is equally droppable
+			for k, old := range l.buckets {
+				if old.tokens >= l.burst {
+					delete(l.buckets, k)
+				}
+			}
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rps
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rps * float64(time.Second))
+}

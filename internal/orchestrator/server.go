@@ -2,11 +2,14 @@ package orchestrator
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/workload"
@@ -31,6 +34,7 @@ type Server struct {
 	orch  *Orchestrator
 	mux   *http.ServeMux
 	build obs.BuildInfo
+	limit *rateLimiter // nil = unlimited
 }
 
 // NewServer wraps an orchestrator in its HTTP API.
@@ -52,6 +56,45 @@ func NewServer(o *Orchestrator) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// SetSubmitLimit installs a per-client token-bucket rate limit on the
+// submit endpoints (POST /v1/jobs and /v1/sweeps): each client address
+// refills at rps submissions per second up to burst. Zero or negative
+// rps removes the limit. Reads (polling, metrics) are never limited.
+func (s *Server) SetSubmitLimit(rps float64, burst int) {
+	if rps <= 0 {
+		s.limit = nil
+		return
+	}
+	s.limit = newRateLimiter(rps, burst)
+}
+
+// throttleSubmit enforces the per-client submit limit; it reports
+// whether the request was rejected (response already written).
+func (s *Server) throttleSubmit(w http.ResponseWriter, r *http.Request) bool {
+	if s.limit == nil {
+		return false
+	}
+	client := r.RemoteAddr
+	if host, _, err := net.SplitHostPort(client); err == nil {
+		client = host
+	}
+	//lnuca:allow(determinism) rate limiting is wall-clock behavior by definition; never result content
+	ok, wait := s.limit.allow(client, time.Now())
+	if ok {
+		return false
+	}
+	writeThrottled(w, wait, "rate limit exceeded for %s — retry after %.1fs", client, wait.Seconds())
+	return true
+}
+
+// writeThrottled answers 429 with a Retry-After hint, the backpressure
+// contract Client's retry loop honors.
+func writeThrottled(w http.ResponseWriter, wait time.Duration, format string, args ...interface{}) {
+	secs := int(wait/time.Second) + 1 // round up; Retry-After takes whole seconds
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, format, args...)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -140,6 +183,9 @@ func RouteLabel(r *http.Request) string {
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
+		if s.throttleSubmit(w, r) {
+			return
+		}
 		// The body is the declarative run schema (lnuca-run-v1) — the
 		// same Request the library and CLI front-ends build, so any
 		// entry path yields the same content key.
@@ -154,6 +200,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		rec, err := s.orch.Submit(job)
+		if errors.Is(err, ErrQueueFull) {
+			writeThrottled(w, time.Second, "%v", err)
+			return
+		}
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "%v", err)
 			return
@@ -204,6 +254,9 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
+	if s.throttleSubmit(w, r) {
+		return
+	}
 	var req SweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad sweep body: %v", err)
@@ -215,6 +268,12 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sid, recs, err := s.orch.SubmitSweep(jobs)
+	if errors.Is(err, ErrQueueFull) {
+		// Cells accepted before the queue filled keep running; retrying
+		// the sweep later re-dedups them via coalescing and the cache.
+		writeThrottled(w, time.Second, "%v", err)
+		return
+	}
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return

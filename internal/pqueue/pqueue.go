@@ -1,0 +1,124 @@
+// Package pqueue is a small generic binary-heap priority queue with
+// index tracking, extracted from the orchestrator's task heap so the
+// fleet coordinator's pending queue and the orchestrator's job queue
+// share one implementation.
+//
+// The queue is not safe for concurrent use; callers guard it with their
+// own mutex (both the orchestrator and the fleet coordinator already
+// hold one across every queue operation).
+package pqueue
+
+// Queue is a binary heap ordered by less (true when a must pop before
+// b). When setIndex is non-nil it is called with every item's current
+// heap position (or -1 on removal), which lets callers remove an
+// arbitrary item in O(log n) without searching.
+type Queue[T any] struct {
+	less     func(a, b T) bool
+	setIndex func(item T, idx int)
+	items    []T
+}
+
+// New returns an empty queue. less must be a strict ordering; setIndex
+// may be nil when callers never remove from the middle.
+func New[T any](less func(a, b T) bool, setIndex func(item T, idx int)) *Queue[T] {
+	return &Queue[T]{less: less, setIndex: setIndex}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push adds an item.
+func (q *Queue[T]) Push(item T) {
+	q.items = append(q.items, item)
+	i := len(q.items) - 1
+	q.notify(item, i)
+	q.up(i)
+}
+
+// Peek returns the item that Pop would return, without removing it.
+// ok is false on an empty queue.
+func (q *Queue[T]) Peek() (item T, ok bool) {
+	if len(q.items) == 0 {
+		return item, false
+	}
+	return q.items[0], true
+}
+
+// Pop removes and returns the least item (per less). ok is false on an
+// empty queue.
+func (q *Queue[T]) Pop() (item T, ok bool) {
+	if len(q.items) == 0 {
+		return item, false
+	}
+	return q.RemoveAt(0), true
+}
+
+// RemoveAt removes and returns the item at heap index i (as reported
+// through setIndex). It panics when i is out of range, mirroring slice
+// indexing.
+func (q *Queue[T]) RemoveAt(i int) T {
+	n := len(q.items) - 1
+	item := q.items[i]
+	if i != n {
+		q.items[i] = q.items[n]
+		q.notify(q.items[i], i)
+	}
+	var zero T
+	q.items[n] = zero
+	q.items = q.items[:n]
+	if i != n {
+		if !q.up(i) {
+			q.down(i)
+		}
+	}
+	q.notify(item, -1)
+	return item
+}
+
+func (q *Queue[T]) notify(item T, idx int) {
+	if q.setIndex != nil {
+		q.setIndex(item, idx)
+	}
+}
+
+// up sifts the item at i toward the root; it reports whether the item
+// moved.
+func (q *Queue[T]) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.items[i], q.items[parent]) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+// down sifts the item at i toward the leaves.
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(q.items[right], q.items[left]) {
+			least = right
+		}
+		if !q.less(q.items[least], q.items[i]) {
+			return
+		}
+		q.swap(i, least)
+		i = least
+	}
+}
+
+func (q *Queue[T]) swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.notify(q.items[i], i)
+	q.notify(q.items[j], j)
+}

@@ -1,0 +1,181 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+type item struct {
+	prio int
+	seq  int
+	idx  int
+}
+
+func newIntQueue() *Queue[*item] {
+	return New(func(a, b *item) bool {
+		if a.prio != b.prio {
+			return a.prio > b.prio // higher priority pops first
+		}
+		return a.seq < b.seq
+	}, func(it *item, idx int) { it.idx = idx })
+}
+
+func TestOrdering(t *testing.T) {
+	q := newIntQueue()
+	in := []*item{
+		{prio: 1, seq: 0}, {prio: 3, seq: 1}, {prio: 2, seq: 2},
+		{prio: 3, seq: 3}, {prio: 1, seq: 4},
+	}
+	for _, it := range in {
+		q.Push(it)
+	}
+	want := []int{1, 3, 2, 0, 4} // by (prio desc, seq asc)
+	for i, wseq := range want {
+		got, ok := q.Pop()
+		if !ok || got.seq != wseq {
+			t.Fatalf("pop %d: got seq %d ok=%v, want %d", i, got.seq, ok, wseq)
+		}
+		if got.idx != -1 {
+			t.Fatalf("popped item still has heap index %d", got.idx)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+}
+
+func TestPeek(t *testing.T) {
+	q := newIntQueue()
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue reported ok")
+	}
+	q.Push(&item{prio: 1, seq: 0})
+	q.Push(&item{prio: 5, seq: 1})
+	top, ok := q.Peek()
+	if !ok || top.seq != 1 {
+		t.Fatalf("Peek = seq %d ok=%v, want seq 1", top.seq, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Peek consumed an item: len %d", q.Len())
+	}
+}
+
+func TestRemoveAt(t *testing.T) {
+	q := newIntQueue()
+	items := make([]*item, 10)
+	for i := range items {
+		items[i] = &item{prio: i % 3, seq: i}
+		q.Push(items[i])
+	}
+	// Remove one from the middle via its tracked index.
+	victim := items[4]
+	removed := q.RemoveAt(victim.idx)
+	if removed != victim {
+		t.Fatalf("RemoveAt returned seq %d, want %d", removed.seq, victim.seq)
+	}
+	if victim.idx != -1 {
+		t.Fatalf("removed item keeps index %d", victim.idx)
+	}
+	var got []int
+	for {
+		it, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, it.seq)
+	}
+	if len(got) != 9 {
+		t.Fatalf("expected 9 remaining items, got %d", len(got))
+	}
+	for _, seq := range got {
+		if seq == victim.seq {
+			t.Fatalf("removed item seq %d still popped", victim.seq)
+		}
+	}
+}
+
+// TestRandomizedAgainstSort pushes and pops in random interleavings and
+// checks every pop returns the current minimum of a mirrored slice.
+func TestRandomizedAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	q := newIntQueue()
+	var mirror []*item
+	seq := 0
+	popMin := func() *item {
+		sort.SliceStable(mirror, func(i, j int) bool {
+			if mirror[i].prio != mirror[j].prio {
+				return mirror[i].prio > mirror[j].prio
+			}
+			return mirror[i].seq < mirror[j].seq
+		})
+		m := mirror[0]
+		mirror = mirror[1:]
+		return m
+	}
+	for step := 0; step < 2000; step++ {
+		if len(mirror) == 0 || rng.Intn(2) == 0 {
+			it := &item{prio: rng.Intn(5), seq: seq}
+			seq++
+			q.Push(it)
+			mirror = append(mirror, it)
+			continue
+		}
+		want := popMin()
+		got, ok := q.Pop()
+		if !ok || got != want {
+			t.Fatalf("step %d: pop = seq %d (ok=%v), want seq %d", step, got.seq, ok, want.seq)
+		}
+	}
+	for len(mirror) > 0 {
+		want := popMin()
+		got, ok := q.Pop()
+		if !ok || got != want {
+			t.Fatalf("drain: pop = seq %d (ok=%v), want seq %d", got.seq, ok, want.seq)
+		}
+	}
+}
+
+// TestIndexTrackingUnderChurn verifies the setIndex callback keeps
+// every live item's index accurate through pushes, pops and removals.
+func TestIndexTrackingUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := newIntQueue()
+	live := map[*item]bool{}
+	seq := 0
+	check := func() {
+		n := 0
+		for it := range live {
+			if it.idx < 0 || it.idx >= q.Len() {
+				t.Fatalf("live item seq %d has out-of-range index %d (len %d)", it.seq, it.idx, q.Len())
+			}
+			n++
+		}
+		if n != q.Len() {
+			t.Fatalf("live set %d != queue len %d", n, q.Len())
+		}
+	}
+	for step := 0; step < 1000; step++ {
+		switch {
+		case len(live) == 0 || rng.Intn(3) == 0:
+			it := &item{prio: rng.Intn(4), seq: seq}
+			seq++
+			q.Push(it)
+			live[it] = true
+		case rng.Intn(2) == 0:
+			it, ok := q.Pop()
+			if !ok {
+				t.Fatal("pop on non-empty queue failed")
+			}
+			delete(live, it)
+		default:
+			// Remove a random live item through its tracked index.
+			for it := range live {
+				q.RemoveAt(it.idx)
+				delete(live, it)
+				break
+			}
+		}
+		check()
+	}
+}

@@ -112,11 +112,29 @@ func (s *Store) persist(id string, data []byte) error {
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		return err
 	}
-	tmp := s.path(id) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	// Unique temp name per writer + atomic rename: concurrent processes
+	// sharing the store (fleet workers pushing the same trace) must not
+	// clobber each other's in-progress temp file. Content addressing
+	// makes concurrent identical writes benign — last rename wins with
+	// identical bytes.
+	tmp, err := os.CreateTemp(s.dir, "."+id+".tmp-*")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, s.path(id))
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.path(id)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // Get returns the trace with the given content hash. A stored file whose

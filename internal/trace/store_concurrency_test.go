@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestStoreConcurrentIdenticalWrites hammers one directory with many
+// writers persisting the same trace — the fleet shape, where several
+// worker processes push an identical content-addressed blob at once.
+// Every writer must succeed, the stored file must decode to the right
+// content, and no temp litter may remain.
+func TestStoreConcurrentIdenticalWrites(t *testing.T) {
+	dir := t.TempDir()
+	tr := New(sampleMeta(), sampleOps())
+	const writers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each writer gets its own Store over the shared directory,
+			// standing in for a separate process.
+			_, errs[i] = NewStore(dir).Put(tr)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+
+	reader := NewStore(dir)
+	got, err := reader.Get(tr.ID())
+	if err != nil {
+		t.Fatalf("Get after concurrent writes: %v", err)
+	}
+	if got.ID() != tr.ID() || len(got.Ops) != len(tr.Ops) {
+		t.Fatalf("stored trace differs: id %s ops %d, want %s / %d",
+			got.ID(), len(got.Ops), tr.ID(), len(tr.Ops))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+	if n := len(entries); n != 1 {
+		t.Fatalf("directory holds %d entries, want exactly the one trace", n)
+	}
+}
