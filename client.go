@@ -47,6 +47,11 @@ type Client struct {
 	// caps it (default 2s).
 	RetryBaseDelay time.Duration
 	RetryMaxDelay  time.Duration
+
+	// sleepFn overrides the backoff sleep. Tests inject it to assert the
+	// chosen delays (e.g. a 429's Retry-After) without spending
+	// wall-clock time; nil means a real timer.
+	sleepFn func(ctx context.Context, d time.Duration) error
 }
 
 // NewClient returns a Client for a lnucad address; a bare "host:port"
@@ -194,6 +199,9 @@ func (c *Client) backoffWait(ctx context.Context, attempt int, cause error) erro
 	var apiErr *APIError
 	if errors.As(cause, &apiErr) && apiErr.RetryAfter > 0 {
 		delay = apiErr.RetryAfter
+	}
+	if c.sleepFn != nil {
+		return c.sleepFn(ctx, delay)
 	}
 	t := time.NewTimer(delay)
 	defer t.Stop()

@@ -2,29 +2,22 @@ package lightnuca
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
-// flakyHandler fails the first n requests with status, then delegates.
-func flakyHandler(n int64, status int, hdr map[string]string, next http.Handler) (http.Handler, *atomic.Int64) {
-	var calls atomic.Int64
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if calls.Add(1) <= n {
-			for k, v := range hdr {
-				w.Header().Set(k, v)
-			}
-			w.WriteHeader(status)
-			w.Write([]byte(`{"error":"induced failure"}`))
-			return
-		}
-		next.ServeHTTP(w, r)
-	}), &calls
-}
+// The client retry suite runs on the deterministic fault injector: a
+// faultinject.Transport at the client_http point synthesizes the
+// failures (connection refusals, 5xx/429 bursts, dropped bodies) in
+// front of a healthy httptest server, so each test controls exactly
+// which attempt fails, how, and what the real server ever sees.
 
 func okJSON(body string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -33,129 +26,181 @@ func okJSON(body string) http.Handler {
 	})
 }
 
-func retryClient(url string) *Client {
+// countingServer is okJSON plus a counter of requests that actually
+// reached it (injected failures never do, except AfterSend/DropBody).
+func countingServer(body string) (*httptest.Server, *atomic.Int64) {
+	var hits atomic.Int64
+	h := okJSON(body)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		h.ServeHTTP(w, r)
+	}))
+	return srv, &hits
+}
+
+// faultyClient wires a client to url through an injector armed at the
+// client_http point with plan.
+func faultyClient(url string, seed int64, plan faultinject.Plan) (*Client, *faultinject.Injector) {
+	in := faultinject.New(seed)
+	in.Enable(faultinject.PointClientHTTP, plan)
 	c := NewClient(url)
+	c.HTTPClient = &http.Client{Transport: &faultinject.Transport{
+		Injector: in,
+		Point:    faultinject.PointClientHTTP,
+	}}
 	c.RetryBaseDelay = time.Millisecond
 	c.RetryMaxDelay = 5 * time.Millisecond
-	return c
+	return c, in
 }
 
 func TestClientRetriesTransient5xx(t *testing.T) {
-	// Two 500s, then success: the GET survives without the caller
-	// noticing.
-	h, calls := flakyHandler(2, http.StatusInternalServerError, nil, okJSON(`{}`))
-	srv := httptest.NewServer(h)
+	// Two injected 500s, then a clean pass-through: the GET survives
+	// without the caller noticing, and the server is hit exactly once.
+	srv, hits := countingServer(`{}`)
 	defer srv.Close()
+	c, in := faultyClient(srv.URL, 1, faultinject.Plan{Rate: 1, MaxFires: 2, Status: http.StatusInternalServerError})
 
-	if err := retryClient(srv.URL).Health(context.Background()); err != nil {
+	if err := c.Health(context.Background()); err != nil {
 		t.Fatalf("health after transient 500s: %v", err)
 	}
-	if n := calls.Load(); n != 3 {
-		t.Fatalf("server saw %d requests, want 3 (2 failures + 1 success)", n)
+	if n := in.Calls(faultinject.PointClientHTTP); n != 3 {
+		t.Fatalf("client made %d attempts, want 3 (2 injected failures + 1 success)", n)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server saw %d requests, want 1 (injected 500s never reach it)", n)
 	}
 }
 
 func TestClientRetries429HonoringRetryAfter(t *testing.T) {
-	// A 429 with Retry-After: the client must hold at least that long
-	// before the next attempt.
-	h, calls := flakyHandler(1, http.StatusTooManyRequests,
-		map[string]string{"Retry-After": "1"}, okJSON(`{}`))
-	srv := httptest.NewServer(h)
+	// An injected 429 carrying Retry-After: 7. The backoff sleep is
+	// intercepted, so the test asserts — without spending a single
+	// wall-clock second — that the client holds for exactly the
+	// server-demanded 7s rather than its own millisecond backoff.
+	srv, hits := countingServer(`{}`)
 	defer srv.Close()
+	c, in := faultyClient(srv.URL, 2, faultinject.Plan{
+		Rate: 1, MaxFires: 1,
+		Status: http.StatusTooManyRequests, RetryAfter: 7,
+	})
+	var slept []time.Duration
+	c.sleepFn = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
 
-	start := time.Now()
-	if err := retryClient(srv.URL).Health(context.Background()); err != nil {
+	if err := c.Health(context.Background()); err != nil {
 		t.Fatalf("health after 429: %v", err)
 	}
-	if elapsed := time.Since(start); elapsed < time.Second {
-		t.Fatalf("client retried after %v, Retry-After demanded >= 1s", elapsed)
+	if len(slept) != 1 || slept[0] != 7*time.Second {
+		t.Fatalf("backoff slept %v, want exactly [7s] (Retry-After must override the computed backoff)", slept)
 	}
-	if n := calls.Load(); n != 2 {
-		t.Fatalf("server saw %d requests, want 2", n)
+	if n := in.Calls(faultinject.PointClientHTTP); n != 2 {
+		t.Fatalf("client made %d attempts, want 2", n)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server saw %d requests, want 1", n)
 	}
 }
 
 func TestClientRetriesConnectionRefused(t *testing.T) {
-	// A dead service: connection errors are transient, so every retry
-	// is spent before the error surfaces.
-	srv := httptest.NewServer(okJSON(`{}`))
-	url := srv.URL
-	srv.Close() // nothing listens here any more
+	// Two injected connection refusals, then recovery: the retry budget
+	// rides out a briefly-dead service.
+	srv, hits := countingServer(`{}`)
+	defer srv.Close()
+	c, _ := faultyClient(srv.URL, 3, faultinject.Plan{Rate: 1, MaxFires: 2})
 
-	c := retryClient(url)
-	c.MaxRetries = 2
-	start := time.Now()
-	err := c.Health(context.Background())
-	if err == nil {
-		t.Fatal("health against a dead service must fail")
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health after transient refusals: %v", err)
 	}
-	// Two backoff waits happened (1 initial + 2 retries).
-	if elapsed := time.Since(start); elapsed < time.Millisecond {
-		t.Fatalf("error came back in %v — no backoff happened", elapsed)
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server saw %d requests, want 1", n)
+	}
+}
+
+func TestClientRetriesDroppedResponseBody(t *testing.T) {
+	// The response body is severed mid-read on the first attempt: a
+	// decode failure on a GET is transient and the retry completes.
+	srv, hits := countingServer(`{"benchmarks":["403.gcc"],"mixes":[]}`)
+	defer srv.Close()
+	c, _ := faultyClient(srv.URL, 4, faultinject.Plan{Rate: 1, MaxFires: 1, DropBody: true})
+
+	benches, _, err := c.Benchmarks(context.Background())
+	if err != nil {
+		t.Fatalf("benchmarks after dropped body: %v", err)
+	}
+	if len(benches) != 1 || benches[0] != "403.gcc" {
+		t.Fatalf("benchmarks = %v, want [403.gcc]", benches)
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("server saw %d requests, want 2 (the dropped-body attempt did reach it)", n)
 	}
 }
 
 func TestClientRetryGivesUpAfterBudget(t *testing.T) {
 	// A persistently failing endpoint: the caller gets the APIError
-	// after exactly 1 + MaxRetries attempts.
-	h, calls := flakyHandler(1<<30, http.StatusServiceUnavailable, nil, okJSON(`{}`))
-	srv := httptest.NewServer(h)
+	// after exactly 1 + MaxRetries attempts, and the real server is
+	// never reached.
+	srv, hits := countingServer(`{}`)
 	defer srv.Close()
-
-	c := retryClient(srv.URL)
+	c, in := faultyClient(srv.URL, 5, faultinject.Plan{Rate: 1, Status: http.StatusServiceUnavailable})
 	c.MaxRetries = 2
+
 	err := c.Health(context.Background())
-	apiErr, ok := err.(*APIError)
-	if !ok || apiErr.Status != http.StatusServiceUnavailable {
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
 		t.Fatalf("err = %v, want APIError 503", err)
 	}
-	if n := calls.Load(); n != 3 {
-		t.Fatalf("server saw %d requests, want 3 (1 + 2 retries)", n)
+	if n := in.Calls(faultinject.PointClientHTTP); n != 3 {
+		t.Fatalf("client made %d attempts, want 3 (1 + 2 retries)", n)
+	}
+	if n := hits.Load(); n != 0 {
+		t.Fatalf("server saw %d requests, want 0", n)
 	}
 }
 
 func TestClientDoesNotRetryMutations(t *testing.T) {
-	// POST /v1/jobs is not idempotent from the client's view: a 500
-	// surfaces immediately, after exactly one request.
-	h, calls := flakyHandler(1<<30, http.StatusInternalServerError, nil, okJSON(`{}`))
-	srv := httptest.NewServer(h)
+	// POST /v1/jobs is not idempotent from the client's view: an
+	// injected 500 surfaces immediately, after exactly one attempt.
+	srv, hits := countingServer(`{}`)
 	defer srv.Close()
+	c, in := faultyClient(srv.URL, 6, faultinject.Plan{Rate: 1, Status: http.StatusInternalServerError})
 
-	c := retryClient(srv.URL)
 	_, err := c.Submit(context.Background(), Request{Hierarchy: "L2", Benchmark: "403.gcc", Mode: "quick", Seed: 1})
 	if err == nil {
 		t.Fatal("submit against a failing service must fail")
 	}
-	if n := calls.Load(); n != 1 {
-		t.Fatalf("server saw %d requests, want 1 (mutations never retry)", n)
+	if n := in.Calls(faultinject.PointClientHTTP); n != 1 {
+		t.Fatalf("client made %d attempts, want 1 (mutations never retry)", n)
+	}
+	if n := hits.Load(); n != 0 {
+		t.Fatalf("server saw %d requests, want 0", n)
 	}
 }
 
 func TestClientDoesNotRetryTerminalStatuses(t *testing.T) {
 	// A 404 is an answer, not an outage.
-	h, calls := flakyHandler(1<<30, http.StatusNotFound, nil, okJSON(`{}`))
-	srv := httptest.NewServer(h)
+	srv, _ := countingServer(`{}`)
 	defer srv.Close()
+	c, in := faultyClient(srv.URL, 7, faultinject.Plan{Rate: 1, Status: http.StatusNotFound})
 
-	_, err := retryClient(srv.URL).Job(context.Background(), "job-000001")
+	_, err := c.Job(context.Background(), "job-000001")
 	if err == nil || !strings.Contains(err.Error(), "404") {
 		t.Fatalf("err = %v, want 404", err)
 	}
-	if n := calls.Load(); n != 1 {
-		t.Fatalf("server saw %d requests, want 1 (4xx answers never retry)", n)
+	if n := in.Calls(faultinject.PointClientHTTP); n != 1 {
+		t.Fatalf("client made %d attempts, want 1 (4xx answers never retry)", n)
 	}
 }
 
 func TestClientRetryStopsOnContextCancel(t *testing.T) {
 	// Cancellation mid-backoff returns promptly instead of burning the
 	// whole retry budget.
-	h, _ := flakyHandler(1<<30, http.StatusServiceUnavailable, nil, okJSON(`{}`))
-	srv := httptest.NewServer(h)
+	srv, _ := countingServer(`{}`)
 	defer srv.Close()
-
-	c := retryClient(srv.URL)
+	c, _ := faultyClient(srv.URL, 8, faultinject.Plan{Rate: 1, Status: http.StatusServiceUnavailable})
 	c.MaxRetries = 50
-	c.RetryBaseDelay = 10 * time.Second // would block forever without cancel
+	c.RetryBaseDelay = 10 * time.Second // would block for minutes without cancel
+
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	start := time.Now()
@@ -164,5 +209,29 @@ func TestClientRetryStopsOnContextCancel(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("cancel took %v to take effect", elapsed)
+	}
+}
+
+func TestClientInjectedLatencyHonorsContext(t *testing.T) {
+	// Injected transport latency respects the request context: a
+	// deadline shorter than the delay surfaces promptly as a context
+	// error, not as a hung call.
+	srv, hits := countingServer(`{}`)
+	defer srv.Close()
+	c, _ := faultyClient(srv.URL, 9, faultinject.Plan{Rate: 1, Delay: 30 * time.Second})
+	c.MaxRetries = -1 // isolate the latency path
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.Health(ctx)
+	if err == nil {
+		t.Fatal("health must fail when injected latency outlives the deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to take effect", elapsed)
+	}
+	if n := hits.Load(); n != 0 {
+		t.Fatalf("server saw %d requests, want 0", n)
 	}
 }

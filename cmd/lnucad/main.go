@@ -35,6 +35,13 @@
 // Retry-After) and -submit-rps/-submit-burst rate-limit submissions per
 // client address.
 //
+// Robustness rehearsal: -chaos-seed arms the deterministic fault
+// injector (DESIGN.md, "Failure model") on a daemon or worker — every
+// fire is counted in lnuca_fault_injected_total{point}, and the seed
+// alone reproduces the schedule. -drain-grace bounds how long a
+// SIGTERMed worker lets its in-flight job finish before the lease is
+// explicitly released back to the coordinator.
+//
 // Observability: every request is access-logged (structured, -log-format
 // text|json at -log-level), GET /metrics serves Prometheus text to
 // scrapers (JSON snapshot stays the default representation; fleet mode
@@ -57,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/orchestrator"
@@ -79,6 +87,8 @@ func main() {
 	workerMode := flag.Bool("worker", false, "run as a fleet worker: pull jobs from -coordinator instead of serving the API")
 	coordinatorURL := flag.String("coordinator", "", "coordinator base URL for -worker mode, e.g. http://host:8347")
 	workerName := flag.String("worker-name", "", "worker name reported to the coordinator (default: hostname)")
+	drainGrace := flag.Duration("drain-grace", 10*time.Second, "worker mode: how long SIGTERM lets an in-flight job finish before its lease is released back to the coordinator")
+	chaosSeed := flag.Int64("chaos-seed", 0, "DEV ONLY: arm deterministic fault injection from this seed — injected HTTP/store/worker faults, counted in lnuca_fault_injected_total (0 = off)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	debugAddr := flag.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled)")
@@ -111,7 +121,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lnucad: -worker requires -coordinator")
 			os.Exit(2)
 		}
-		os.Exit(runWorker(log, *coordinatorURL, *workerName, *cacheDir, *cacheCap, *traceDir))
+		os.Exit(runWorker(log, *coordinatorURL, *workerName, *cacheDir, *cacheCap, *traceDir, *drainGrace, *chaosSeed))
 	}
 
 	if *journalPath == "" && *cacheDir != "" {
@@ -128,9 +138,21 @@ func main() {
 
 	registry := obs.NewRegistry()
 	traces := trace.NewStore(*traceDir)
+	cache := orchestrator.NewCache(*cacheCap, *cacheDir)
+	var faults *faultinject.Injector
+	if *chaosSeed != 0 {
+		faults = armChaos(*chaosSeed, false, registry)
+		cache.SetFaults(faults)
+		traces.SetFaults(faults)
+		if journal != nil {
+			journal.SetFaults(faults)
+		}
+		log.Warn("CHAOS MODE armed: deterministic fault injection is live on this daemon",
+			"seed", *chaosSeed, "schedule", faults.Describe())
+	}
 	ocfg := orchestrator.Config{
 		Workers:  *workers,
-		Cache:    orchestrator.NewCache(*cacheCap, *cacheDir),
+		Cache:    cache,
 		Traces:   traces,
 		Logger:   log,
 		Registry: registry,
@@ -183,6 +205,9 @@ func main() {
 		mux.Handle("/fleet/v1/", coord.Handler())
 		mux.Handle("/", api)
 		handler = mux
+	}
+	if faults != nil {
+		handler = faultinject.Middleware(handler, faults, faultinject.PointCoordHTTP)
 	}
 	srv := &http.Server{
 		Addr:    *addr,
@@ -255,7 +280,7 @@ func main() {
 // disk-backed via -cache / -traces) only save it work: results flow back
 // over the lease protocol, and the coordinator's store is the one that
 // counts.
-func runWorker(log *slog.Logger, coordinator, name, cacheDir string, cacheCap int, traceDir string) int {
+func runWorker(log *slog.Logger, coordinator, name, cacheDir string, cacheCap int, traceDir string, drainGrace time.Duration, chaosSeed int64) int {
 	if name == "" {
 		if host, err := os.Hostname(); err == nil {
 			name = host
@@ -263,12 +288,26 @@ func runWorker(log *slog.Logger, coordinator, name, cacheDir string, cacheCap in
 			name = "worker"
 		}
 	}
+	var faults *faultinject.Injector
+	var client *http.Client
+	if chaosSeed != 0 {
+		faults = armChaos(chaosSeed, true, nil)
+		client = &http.Client{
+			Timeout:   30 * time.Second,
+			Transport: &faultinject.Transport{Injector: faults, Point: faultinject.PointWorkerHTTP},
+		}
+		log.Warn("CHAOS MODE armed: deterministic fault injection is live on this worker",
+			"seed", chaosSeed, "schedule", faults.Describe())
+	}
 	w := fleet.NewWorker(fleet.WorkerConfig{
 		Coordinator: coordinator,
 		Name:        name,
+		Client:      client,
 		Cache:       orchestrator.NewCache(cacheCap, cacheDir),
 		Traces:      trace.NewStore(traceDir),
+		DrainGrace:  drainGrace,
 		Logger:      log,
+		Faults:      faults,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -278,6 +317,31 @@ func runWorker(log *slog.Logger, coordinator, name, cacheDir string, cacheCap in
 	}
 	log.Info("worker drained", "worker", name)
 	return 0
+}
+
+// armChaos builds the -chaos-seed injector: documented moderate-rate
+// plans for either the daemon (store + server-side HTTP faults) or a
+// worker (execution + transport faults). Every fire is counted in
+// lnuca_fault_injected_total{point} when a registry is given; the seed
+// alone reproduces the schedule.
+func armChaos(seed int64, worker bool, reg *obs.Registry) *faultinject.Injector {
+	in := faultinject.New(seed)
+	if worker {
+		in.Enable(faultinject.PointWorkerCrash, faultinject.Plan{Rate: 0.05})
+		in.Enable(faultinject.PointWorkerStall, faultinject.Plan{Rate: 0.02})
+		in.Enable(faultinject.PointWorkerHTTP, faultinject.Plan{Rate: 0.05})
+	} else {
+		in.Enable(faultinject.PointCacheWrite, faultinject.Plan{Rate: 0.05, Tear: 0.5})
+		in.Enable(faultinject.PointTraceWrite, faultinject.Plan{Rate: 0.05, Tear: 0.5})
+		in.Enable(faultinject.PointJournalAppend, faultinject.Plan{Rate: 0.02})
+		in.Enable(faultinject.PointCoordHTTP, faultinject.Plan{Rate: 0.03, Status: http.StatusServiceUnavailable})
+	}
+	if reg != nil {
+		vec := reg.CounterVec("lnuca_fault_injected_total",
+			"Faults fired by the -chaos-seed injector, by injection point.", "point")
+		in.OnFire(func(p faultinject.Point) { vec.With(string(p)).Inc() })
+	}
+	return in
 }
 
 func modeLabel(fleetMode bool) string {

@@ -1,0 +1,153 @@
+package atomicfile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+func readDirNames(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// TestWriteAtomic: a plain write lands the exact bytes and leaves no
+// temp debris; a rewrite replaces them.
+func TestWriteAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.json")
+	if err := Write(path, []byte("v1"), Options{Sync: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("content = %q, want v1", got)
+	}
+	if err := Write(path, []byte("v2"), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2" {
+		t.Fatalf("content after rewrite = %q, want v2", got)
+	}
+	if names := readDirNames(t, dir); len(names) != 1 {
+		t.Fatalf("directory holds %v, want only the entry", names)
+	}
+}
+
+// TestWriteCreatesDirectory: the target directory is made on demand,
+// like the stores' previous inline writers did.
+func TestWriteCreatesDirectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deep", "nested", "f.json")
+	if err := Write(path, []byte("x"), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "x" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+// TestInjectedTornWrite: a Tear fault persists a strict prefix to the
+// temp file, fails the write, never touches the destination — and
+// leaves the debris a crashed writer leaves.
+func TestInjectedTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.json")
+	in := faultinject.New(1)
+	in.Enable(faultinject.PointCacheWrite, faultinject.Plan{Rate: 1, Tear: 0.5})
+
+	data := []byte(strings.Repeat("payload!", 64))
+	err := Write(path, data, Options{Faults: in, Point: faultinject.PointCacheWrite})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want wrapped ErrInjected", err)
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatal("destination exists after torn write")
+	}
+	names := readDirNames(t, dir)
+	if len(names) != 1 || !IsTemp(names[0]) {
+		t.Fatalf("debris = %v, want exactly one temp file", names)
+	}
+	debris, _ := os.ReadFile(filepath.Join(dir, names[0]))
+	if len(debris) >= len(data) || len(debris) == 0 {
+		t.Fatalf("debris holds %d of %d bytes, want a strict non-empty prefix", len(debris), len(data))
+	}
+}
+
+// TestInjectedRenameFailure: a bare fault (no Tear) writes the full
+// temp then fails before the rename — complete debris, no destination.
+func TestInjectedRenameFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.json")
+	in := faultinject.New(2)
+	in.Enable(faultinject.PointTraceWrite, faultinject.Plan{Rate: 1, MaxFires: 1})
+
+	if err := Write(path, []byte("abc"), Options{Faults: in, Point: faultinject.PointTraceWrite}); err == nil {
+		t.Fatal("injected rename failure returned nil")
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatal("destination exists after failed rename")
+	}
+	// The fault budget is spent: the retry succeeds and the orphan from
+	// the failed attempt is still there for the sweep to find.
+	if err := Write(path, []byte("abc"), Options{Faults: in, Point: faultinject.PointTraceWrite}); err != nil {
+		t.Fatal(err)
+	}
+	var orphans int
+	for _, name := range readDirNames(t, dir) {
+		if IsTemp(name) {
+			orphans++
+		}
+	}
+	if orphans != 1 {
+		t.Fatalf("orphans = %d, want 1", orphans)
+	}
+}
+
+// TestSweepOrphans: only temp files past the grace window go; fresh
+// temps (a live writer) and real entries stay; missing dir is fine.
+func TestSweepOrphans(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	write("entry.json", "real")
+	stale := write(".entry.json.tmp-123", "half")
+	write(".other.json.tmp-456", "fresh")
+	write(".hidden", "not ours") // dotfile without the temp infix
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := SweepOrphans(dir, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != ".entry.json.tmp-123" {
+		t.Fatalf("removed = %v, want the one stale orphan", removed)
+	}
+	names := readDirNames(t, dir)
+	if len(names) != 3 {
+		t.Fatalf("survivors = %v, want entry + fresh temp + dotfile", names)
+	}
+
+	if removed, err := SweepOrphans(filepath.Join(dir, "missing"), time.Hour); err != nil || removed != nil {
+		t.Fatalf("missing dir sweep = %v, %v; want nil, nil", removed, err)
+	}
+}

@@ -1,0 +1,290 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDeterministicSchedules: two injectors built from the same seed
+// and armed with the same plans make byte-identical decision sequences,
+// per point, regardless of which other points are armed — the property
+// that makes a chaos schedule reproducible from its seed alone.
+func TestDeterministicSchedules(t *testing.T) {
+	record := func(arm func(*Injector)) []bool {
+		in := New(42)
+		arm(in)
+		var seq []bool
+		for i := 0; i < 200; i++ {
+			seq = append(seq, in.At(PointCacheWrite).Fired)
+		}
+		return seq
+	}
+	baseline := record(func(in *Injector) {
+		in.Enable(PointCacheWrite, Plan{Rate: 0.3})
+	})
+	// Same seed, extra unrelated points armed and exercised: the
+	// cache_write stream must not shift.
+	perturbed := func() []bool {
+		in := New(42)
+		in.Enable(PointCacheWrite, Plan{Rate: 0.3})
+		in.Enable(PointWorkerCrash, Plan{Rate: 0.9})
+		in.Enable(PointJournalAppend, Plan{Rate: 0.5})
+		var seq []bool
+		for i := 0; i < 200; i++ {
+			in.At(PointWorkerCrash)
+			seq = append(seq, in.At(PointCacheWrite).Fired)
+			in.At(PointJournalAppend)
+		}
+		return seq
+	}()
+	if len(baseline) != len(perturbed) {
+		t.Fatal("sequence lengths differ")
+	}
+	for i := range baseline {
+		if baseline[i] != perturbed[i] {
+			t.Fatalf("decision %d diverged with unrelated points armed: %v vs %v", i, baseline[i], perturbed[i])
+		}
+	}
+	// A different seed must actually produce a different schedule.
+	other := func() []bool {
+		in := New(43)
+		in.Enable(PointCacheWrite, Plan{Rate: 0.3})
+		var seq []bool
+		for i := 0; i < 200; i++ {
+			seq = append(seq, in.At(PointCacheWrite).Fired)
+		}
+		return seq
+	}()
+	same := true
+	for i := range baseline {
+		if baseline[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 200-call schedules")
+	}
+}
+
+// TestPlanGates pins After / MaxFires / Rate>=1 semantics and the
+// call/fire counters.
+func TestPlanGates(t *testing.T) {
+	in := New(7)
+	in.Enable(PointJournalAppend, Plan{Rate: 1, After: 3, MaxFires: 2})
+	var fired int
+	for i := 0; i < 10; i++ {
+		if in.At(PointJournalAppend).Fired {
+			fired++
+			if i < 3 {
+				t.Fatalf("fired on call %d, inside After=3 warmup", i)
+			}
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want MaxFires=2", fired)
+	}
+	if in.Calls(PointJournalAppend) != 10 || in.Fires(PointJournalAppend) != 2 {
+		t.Fatalf("calls=%d fires=%d, want 10/2", in.Calls(PointJournalAppend), in.Fires(PointJournalAppend))
+	}
+	if in.TotalFires() != 2 {
+		t.Fatalf("TotalFires=%d, want 2", in.TotalFires())
+	}
+}
+
+// TestNilAndUnarmed: a nil injector and an unarmed point are both
+// inert and never fire.
+func TestNilAndUnarmed(t *testing.T) {
+	var nilIn *Injector
+	if out := nilIn.At(PointCacheWrite); out.Fired {
+		t.Fatal("nil injector fired")
+	}
+	if nilIn.Seed() != 0 || nilIn.TotalFires() != 0 || nilIn.Describe() != "faultinject: off" {
+		t.Fatal("nil injector accessors not inert")
+	}
+	in := New(1)
+	in.Enable(PointCacheWrite, Plan{Rate: 1})
+	if out := in.At(PointTraceWrite); out.Fired {
+		t.Fatal("unarmed point fired")
+	}
+}
+
+// TestOnFireHook: the hook sees every fire with its point — the
+// contract the lnuca_fault_injected_total{point} exporter relies on.
+func TestOnFireHook(t *testing.T) {
+	in := New(9)
+	counts := map[Point]int{}
+	in.OnFire(func(p Point) { counts[p]++ })
+	in.Enable(PointWorkerCrash, Plan{Rate: 1, MaxFires: 3})
+	for i := 0; i < 5; i++ {
+		in.At(PointWorkerCrash)
+	}
+	if counts[PointWorkerCrash] != 3 {
+		t.Fatalf("hook saw %d fires, want 3", counts[PointWorkerCrash])
+	}
+}
+
+// TestOutcomeDefaults: a bare plan injects ErrInjected; a planned error
+// is passed through.
+func TestOutcomeDefaults(t *testing.T) {
+	in := New(2)
+	in.Enable(PointCacheWrite, Plan{Rate: 1})
+	if err := in.At(PointCacheWrite).ErrOrDefault(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("bare plan error = %v, want ErrInjected", err)
+	}
+	custom := errors.New("disk full")
+	in.Enable(PointCacheWrite, Plan{Rate: 1, Err: custom})
+	if err := in.At(PointCacheWrite).ErrOrDefault(); !errors.Is(err, custom) {
+		t.Fatalf("planned error = %v, want %v", err, custom)
+	}
+}
+
+// TestTransportStatus: a Status plan synthesizes the response without
+// touching the server, including Retry-After.
+func TestTransportStatus(t *testing.T) {
+	var hits int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hits++ }))
+	defer srv.Close()
+
+	in := New(3)
+	in.Enable(PointClientHTTP, Plan{Rate: 1, MaxFires: 1, Status: 429, RetryAfter: 7})
+	client := &http.Client{Transport: &Transport{Injector: in, Point: PointClientHTTP}}
+
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 429 || resp.Header.Get("Retry-After") != "7" {
+		t.Fatalf("synthesized response = %d retry-after=%q, want 429/7", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if hits != 0 {
+		t.Fatalf("server saw %d requests during synthesized 429, want 0", hits)
+	}
+	// MaxFires exhausted: passes through.
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || hits != 1 {
+		t.Fatalf("pass-through = %d hits=%d, want 200/1", resp.StatusCode, hits)
+	}
+}
+
+// TestTransportAfterSend: the server processes the request but the
+// client sees a transport error — the ambiguous-failure case.
+func TestTransportAfterSend(t *testing.T) {
+	var hits int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	in := New(4)
+	in.Enable(PointWorkerHTTP, Plan{Rate: 1, MaxFires: 1, AfterSend: true})
+	client := &http.Client{Transport: &Transport{Injector: in, Point: PointWorkerHTTP}}
+	_, err := client.Post(srv.URL, "text/plain", strings.NewReader("x"))
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("after-send error = %v, want wrapped ErrInjected", err)
+	}
+	if hits != 1 {
+		t.Fatalf("server saw %d requests, want 1 (request must land before the response is lost)", hits)
+	}
+}
+
+// TestTransportDropBody: headers arrive, the body read fails partway.
+func TestTransportDropBody(t *testing.T) {
+	payload := strings.Repeat("x", 4096)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+
+	in := New(5)
+	in.Enable(PointClientHTTP, Plan{Rate: 1, DropBody: true})
+	client := &http.Client{Transport: &Transport{Injector: in, Point: PointClientHTTP}}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("full body read through a DropBody fault")
+	}
+	if len(body) >= len(payload) {
+		t.Fatalf("read %d bytes of %d before the drop, want a strict prefix", len(body), len(payload))
+	}
+}
+
+// TestTransportConnectionRefused: a bare plan is a transport error; the
+// server never sees it.
+func TestTransportConnectionRefused(t *testing.T) {
+	var hits int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hits++ }))
+	defer srv.Close()
+
+	in := New(6)
+	in.Enable(PointClientHTTP, Plan{Rate: 1})
+	client := &http.Client{Transport: &Transport{Injector: in, Point: PointClientHTTP}}
+	if _, err := client.Get(srv.URL); err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("refused error = %v, want wrapped ErrInjected", err)
+	}
+	if hits != 0 {
+		t.Fatalf("server saw %d requests through a refused connection", hits)
+	}
+}
+
+// TestMiddleware: server-side injection answers before the handler and
+// disarms cleanly.
+func TestMiddleware(t *testing.T) {
+	var hits int
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hits++ })
+	in := New(8)
+	in.Enable(PointCoordHTTP, Plan{Rate: 1, MaxFires: 1, Status: 503})
+	srv := httptest.NewServer(Middleware(inner, in, PointCoordHTTP))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 || hits != 0 {
+		t.Fatalf("injected middleware response = %d hits=%d, want 503/0", resp.StatusCode, hits)
+	}
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || hits != 1 {
+		t.Fatalf("pass-through = %d hits=%d, want 200/1", resp.StatusCode, hits)
+	}
+}
+
+// TestDescribeStable: Describe is deterministic and sorted, so failure
+// artifacts comparing two runs of one seed compare equal.
+func TestDescribeStable(t *testing.T) {
+	mk := func() *Injector {
+		in := New(11)
+		in.Enable(PointWorkerStall, Plan{Rate: 0.5, Delay: 200 * time.Millisecond})
+		in.Enable(PointCacheWrite, Plan{Rate: 0.1, Tear: 0.5, MaxFires: 2})
+		return in
+	}
+	a, b := mk().Describe(), mk().Describe()
+	if a != b {
+		t.Fatalf("Describe unstable:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "seed=11") || !strings.Contains(a, "cache_write{") {
+		t.Fatalf("Describe missing fields: %s", a)
+	}
+}

@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Transport is an http.RoundTripper that consults one injection point
+// before (and, for AfterSend/DropBody plans, after) delegating to Base.
+// It models the client-visible failure taxonomy:
+//
+//   - plain Err (or a bare plan): connection refused — the request
+//     never reaches the server;
+//   - Status: the server answers with a synthesized 5xx/429 (plus
+//     Retry-After when planned) and the request never reaches the real
+//     server;
+//   - AfterSend: the request DOES reach the server, whose response is
+//     then lost — the ambiguous failure that forces idempotency;
+//   - DropBody: headers arrive, then the body is severed mid-read;
+//   - Delay: injected latency before any of the above, or before a
+//     clean pass-through.
+type Transport struct {
+	Base     http.RoundTripper
+	Injector *Injector
+	Point    Point
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	out := t.Injector.At(t.Point)
+	if err := out.Sleep(req.Context()); err != nil {
+		return nil, err
+	}
+	if !out.Fired {
+		return t.base().RoundTrip(req)
+	}
+	switch {
+	case out.Status != 0:
+		// The request never reaches the server; close its body as a
+		// real transport would.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		hdr := http.Header{"Content-Type": []string{"application/json"}}
+		if out.RetryAfter > 0 {
+			hdr.Set("Retry-After", fmt.Sprintf("%d", out.RetryAfter))
+		}
+		body := fmt.Sprintf(`{"error":"injected %d at %s"}`+"\n", out.Status, t.Point)
+		return &http.Response{
+			Status:        fmt.Sprintf("%d %s", out.Status, http.StatusText(out.Status)),
+			StatusCode:    out.Status,
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        hdr,
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case out.AfterSend:
+		// Deliver the request, then lose the response.
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("faultinject: %s: response lost after send: %w", t.Point, out.ErrOrDefault())
+	case out.DropBody:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &droppedBody{rc: resp.Body, point: t.Point, remain: resp.ContentLength / 2}
+		return resp, nil
+	default:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("faultinject: %s: connection refused: %w", t.Point, out.ErrOrDefault())
+	}
+}
+
+// droppedBody yields roughly half the response body, then fails the
+// read — a connection severed after headers.
+type droppedBody struct {
+	rc     io.ReadCloser
+	point  Point
+	remain int64
+}
+
+func (d *droppedBody) Read(p []byte) (int, error) {
+	if d.remain <= 0 {
+		return 0, fmt.Errorf("faultinject: %s: body dropped mid-read: %w", d.point, ErrInjected)
+	}
+	if int64(len(p)) > d.remain {
+		p = p[:d.remain]
+	}
+	n, err := d.rc.Read(p)
+	d.remain -= int64(n)
+	if err == io.EOF {
+		return n, err
+	}
+	if d.remain <= 0 && err == nil {
+		err = fmt.Errorf("faultinject: %s: body dropped mid-read: %w", d.point, ErrInjected)
+	}
+	return n, err
+}
+
+func (d *droppedBody) Close() error { return d.rc.Close() }

@@ -102,6 +102,7 @@ type Coordinator struct {
 	jobsFailed      *obs.Counter
 	results         *obs.Counter
 	lateCompletions *obs.Counter
+	releases        *obs.Counter
 	heartbeats      *obs.Counter
 	dispatchSeconds *obs.Histogram
 }
@@ -165,6 +166,8 @@ func (c *Coordinator) register(reg *obs.Registry) {
 		"Results accepted from workers.")
 	c.lateCompletions = reg.Counter("lnuca_fleet_late_completions_total",
 		"Completions for leases already expired or requeued (answered 410 Gone).")
+	c.releases = reg.Counter("lnuca_fleet_releases_total",
+		"Leases explicitly handed back by draining workers (attempt refunded, job requeued immediately).")
 	c.heartbeats = reg.Counter("lnuca_fleet_heartbeats_total",
 		"Worker heartbeats received.")
 	c.dispatchSeconds = reg.Histogram("lnuca_fleet_dispatch_seconds",
@@ -395,6 +398,23 @@ func (c *Coordinator) Complete(req CompleteRequest) (ok bool) {
 		c.log.Info("fleet result", "lease_id", l.id, "fleet_id", fj.id,
 			"key", fj.key, "worker", l.worker, "attempt", fj.attempt)
 		fj.done <- dispatchResult{res: req.Result}
+		return true
+	}
+	if req.Released {
+		// An explicit, healthy hand-back: the worker is draining and
+		// could not finish. Refund the attempt and requeue immediately —
+		// no backoff and no attempt burned, so a rolling restart of the
+		// whole fleet can never exhaust a job's budget.
+		if fj.attempt > 0 {
+			fj.attempt--
+		}
+		c.pending.Push(fj)
+		if c.releases != nil {
+			c.releases.Inc()
+		}
+		c.log.Info("lease released by draining worker", "lease_id", l.id,
+			"fleet_id", fj.id, "key", fj.key, "worker", l.worker)
+		c.mu.Unlock()
 		return true
 	}
 	// An error outcome. A result-less success is malformed and treated

@@ -67,9 +67,16 @@ type HeartbeatResponse struct {
 // timed out — requeue with backoff) from deterministic simulation
 // errors, which would fail identically on any worker and are terminal
 // immediately.
+//
+// Released marks an explicit, healthy hand-back: a worker draining on
+// SIGTERM could not finish the run and returns the lease instead of
+// letting it zombie until the reaper. The coordinator refunds the
+// attempt and requeues immediately (no backoff) — neither the worker
+// nor the job did anything wrong.
 type CompleteRequest struct {
 	LeaseID   string                  `json:"lease_id"`
 	Result    *orchestrator.JobResult `json:"result,omitempty"`
 	Error     string                  `json:"error,omitempty"`
 	Retryable bool                    `json:"retryable,omitempty"`
+	Released  bool                    `json:"released,omitempty"`
 }

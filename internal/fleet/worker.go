@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/orchestrator"
 	"repro/internal/trace"
@@ -41,10 +42,20 @@ type WorkerConfig struct {
 	Traces *trace.Store
 	// PollInterval is the idle delay between lease polls (default 100ms).
 	PollInterval time.Duration
+	// DrainGrace is how long a shutdown (Run's ctx canceled) lets an
+	// in-flight job keep running — heartbeats included — before the run
+	// is canceled and the lease explicitly released back to the
+	// coordinator. 0 releases immediately; either way the coordinator
+	// is told, instead of the lease zombieing until the reaper.
+	DrainGrace time.Duration
 	// Logger receives worker lifecycle events (default: discard).
 	Logger *slog.Logger
 	// Registry, when set, exports the lnuca_fleet_worker_* metrics.
 	Registry *obs.Registry
+	// Faults, when armed, drives the worker-execution injection points
+	// (worker_crash, worker_stall). HTTP faults are injected by wrapping
+	// Client.Transport with faultinject.Transport instead.
+	Faults *faultinject.Injector
 }
 
 // Worker is a pull-based fleet execution node: it polls the coordinator
@@ -172,7 +183,7 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 	if err != nil {
 		// The coordinator's request schema no longer parses here:
 		// deterministic, no point retrying on another worker.
-		w.complete(ctx, log, lease, CompleteRequest{
+		w.complete(log, lease, CompleteRequest{
 			LeaseID: lease.LeaseID,
 			Error:   fmt.Sprintf("worker rejects request: %v", err),
 		})
@@ -182,7 +193,7 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 		// A key mismatch means coordinator and worker normalize the same
 		// request differently (version skew). Executing would publish
 		// under the wrong identity — refuse, terminally.
-		w.complete(ctx, log, lease, CompleteRequest{
+		w.complete(log, lease, CompleteRequest{
 			LeaseID: lease.LeaseID,
 			Error:   fmt.Sprintf("content key mismatch: coordinator %s, worker %s — version skew?", lease.Key, got),
 		})
@@ -193,7 +204,7 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 			// Infrastructure: the trace exists on the coordinator (it
 			// validated the submission); the fetch failing here is
 			// transient and worth another attempt.
-			w.complete(ctx, log, lease, CompleteRequest{
+			w.complete(log, lease, CompleteRequest{
 				LeaseID:   lease.LeaseID,
 				Error:     fmt.Sprintf("trace fetch: %v", err),
 				Retryable: true,
@@ -202,8 +213,35 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 		}
 	}
 
-	runCtx, cancelRun := context.WithCancel(ctx)
+	// The run and its heartbeats live on a context detached from the
+	// poll-loop ctx, so a worker shutdown drains instead of severing the
+	// job mid-flight: the watcher below gives the run DrainGrace to
+	// finish (heartbeats keep flowing), then cancels it, and the lease
+	// is explicitly released back to the coordinator either way.
+	runCtx, cancelRun := context.WithCancel(context.Background())
 	defer cancelRun()
+	var draining bool
+	execDone := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-execDone:
+		case <-ctx.Done():
+			draining = true
+			if g := w.cfg.DrainGrace; g > 0 {
+				log.Info("worker draining; letting job finish", "grace", g)
+				//lnuca:allow(determinism) shutdown drain pacing; never result content
+				t := time.NewTimer(g)
+				select {
+				case <-execDone:
+				case <-t.C:
+				}
+				t.Stop()
+			}
+			cancelRun()
+		}
+	}()
 	var done, total atomic.Uint64
 	hbStop := make(chan struct{})
 	hbDone := make(chan struct{})
@@ -213,25 +251,46 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 		done.Store(d)
 		total.Store(t)
 	})
+	close(execDone)
+	<-watchDone
 	close(hbStop)
 	<-hbDone
+
+	// Worker-execution injection points. A "crashed" worker abandons the
+	// lease silently — the coordinator's reaper requeues it after the
+	// TTL. A "stalled" one sleeps past the TTL and then completes
+	// anyway, exercising the late-completion (410) path.
+	if out := w.cfg.Faults.At(faultinject.PointWorkerCrash); out.Fired {
+		log.Warn("fault injected: worker crash — abandoning lease", "point", string(out.Point))
+		return
+	}
+	if out := w.cfg.Faults.At(faultinject.PointWorkerStall); out.Fired {
+		d := out.Delay
+		if d <= 0 {
+			d = time.Duration(2 * lease.HeartbeatSeconds * float64(time.Second))
+		}
+		log.Warn("fault injected: worker stall past lease TTL", "point", string(out.Point), "stall", d)
+		w.sleep(context.Background(), d)
+	}
 
 	req := CompleteRequest{LeaseID: lease.LeaseID}
 	switch {
 	case runErr == nil:
 		req.Result = res
 	case errors.Is(runErr, context.Canceled):
-		// Either the coordinator canceled us (it will drop this
-		// completion) or this worker is shutting down (the job deserves
-		// another attempt elsewhere).
 		req.Error = runErr.Error()
 		req.Retryable = true
+		// A drain-canceled run is a healthy hand-back: the coordinator
+		// refunds the attempt and requeues immediately. When the
+		// coordinator itself canceled or requeued the job, it drops this
+		// completion (or answers 410) regardless, so the flag is inert.
+		req.Released = draining
 	default:
 		// The simulator is deterministic: this error would reproduce on
 		// any worker. Terminal.
 		req.Error = runErr.Error()
 	}
-	w.complete(ctx, log, lease, req)
+	w.complete(log, lease, req)
 }
 
 // heartbeatLoop keeps the lease alive at a third of its TTL, forwarding
@@ -280,7 +339,14 @@ func (w *Worker) heartbeatLoop(ctx context.Context, cancelRun context.CancelFunc
 // complete pushes the job outcome, retrying briefly: the result of a
 // minutes-long simulation is worth more than one TCP handshake. A 410
 // means the lease moved on without us — nothing left to do.
-func (w *Worker) complete(ctx context.Context, log *slog.Logger, lease *LeaseResponse, req CompleteRequest) {
+//
+// Delivery runs on its own context, detached from the poll loop: a
+// worker shutting down must still be able to hand its lease back (or
+// deliver a finished result) — a canceled ctx here is exactly how
+// leases used to zombie until the reaper.
+func (w *Worker) complete(log *slog.Logger, lease *LeaseResponse, req CompleteRequest) {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
 	if w.jobs != nil {
 		w.jobs.Inc()
 	}

@@ -39,6 +39,8 @@ func DeterminismPackages() []string {
 		"repro/internal/timing",
 		"repro/internal/fleet",
 		"repro/internal/pqueue",
+		"repro/internal/faultinject",
+		"repro/internal/atomicfile",
 	}
 }
 

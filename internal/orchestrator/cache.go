@@ -8,7 +8,17 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/atomicfile"
+	"repro/internal/faultinject"
 )
+
+// tmpOrphanGrace is how old a stray temp file in the cache directory
+// must be before the open-time sweep deletes it. Anything younger may
+// belong to a live writer in another process (fleet worker, CLI) that
+// is about to rename it into place.
+const tmpOrphanGrace = time.Hour
 
 // Cache memoizes job results by content address: an in-memory LRU in
 // front of an optional JSON file store, so identical runs are never
@@ -23,6 +33,15 @@ type Cache struct {
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
+
+	// faults arms the disk paths (cache_write / cache_read injection
+	// points); nil when chaos is off.
+	faults atomic.Pointer[faultinject.Injector]
+
+	// writeErrs counts consecutive file-store write failures; any
+	// successful save resets it. At degradedAfter the cache reports
+	// Degraded and the orchestrator goes read-only.
+	writeErrs atomic.Int64
 }
 
 type cacheEntry struct {
@@ -38,12 +57,51 @@ func NewCache(capacity int, dir string) *Cache {
 	if capacity <= 0 {
 		capacity = 4096
 	}
+	if dir != "" {
+		// Sweep debris from writers killed between create and rename: a
+		// crashed daemon or worker leaves .<key>.json.tmp-* files that
+		// would otherwise accumulate forever. The grace window protects
+		// live writers in sibling processes.
+		if removed, err := atomicfile.SweepOrphans(dir, tmpOrphanGrace); err != nil {
+			fmt.Fprintf(os.Stderr, "orchestrator: cache orphan sweep: %v\n", err)
+		} else if len(removed) > 0 {
+			fmt.Fprintf(os.Stderr, "orchestrator: cache %s: swept %d stale tmp orphan(s)\n", dir, len(removed))
+		}
+	}
 	return &Cache{
 		entries: make(map[string]*list.Element),
 		order:   list.New(),
 		cap:     capacity,
 		dir:     dir,
 	}
+}
+
+// SetFaults arms the cache's disk paths with a fault injector (nil
+// disarms). Test and chaos-mode plumbing only.
+func (c *Cache) SetFaults(in *faultinject.Injector) { c.faults.Store(in) }
+
+// Degraded reports whether the file store has failed degradedAfter
+// consecutive writes. A memory-only cache never degrades.
+func (c *Cache) Degraded() bool {
+	return c.dir != "" && c.writeErrs.Load() >= degradedAfter
+}
+
+// probe attempts one durable write so a degraded store can notice the
+// disk healed. The marker name has no temp infix (the orphan sweep
+// ignores it) and no .json suffix (no key ever resolves to it).
+func (c *Cache) probe() {
+	if c.dir == "" {
+		return
+	}
+	err := atomicfile.Write(filepath.Join(c.dir, ".lnuca-write-probe"), []byte("probe\n"), atomicfile.Options{
+		Faults: c.faults.Load(),
+		Point:  faultinject.PointCacheWrite,
+	})
+	if err != nil {
+		c.writeErrs.Add(1)
+		return
+	}
+	c.writeErrs.Store(0)
 }
 
 // Get returns the memoized result for a content key, consulting the file
@@ -85,8 +143,15 @@ func (c *Cache) Put(key string, res *JobResult) {
 	if c.dir != "" {
 		if err := c.save(key, res); err != nil {
 			// The store is an optimization; a failed write only costs a
-			// recomputation in a future process.
-			fmt.Fprintf(os.Stderr, "orchestrator: cache store: %v\n", err)
+			// recomputation in a future process. But consecutive failures
+			// are a sick disk, and feed Degraded.
+			n := c.writeErrs.Add(1)
+			fmt.Fprintf(os.Stderr, "orchestrator: cache store: %v (%d consecutive)\n", err, n)
+			if n == degradedAfter {
+				fmt.Fprintf(os.Stderr, "orchestrator: cache %s: %d consecutive write failures — entering degraded (read-only) mode\n", c.dir, n)
+			}
+		} else {
+			c.writeErrs.Store(0)
 		}
 	}
 }
@@ -141,6 +206,15 @@ func (c *Cache) load(key string) (*JobResult, bool) {
 	if err != nil {
 		return nil, false
 	}
+	if out := c.faults.Load().At(faultinject.PointCacheRead); out.Fired {
+		if out.Tear > 0 {
+			// Injected short read: the unmarshal below sees a prefix and
+			// takes the discard-corrupt path, same as real tail loss.
+			data = data[:int(out.Tear*float64(len(data)))]
+		} else {
+			return nil, false // injected read error: degrade to a miss
+		}
+	}
 	var res JobResult
 	if err := json.Unmarshal(data, &res); err != nil {
 		// A corrupt store entry would otherwise degrade this key to a
@@ -165,9 +239,6 @@ func (c *Cache) discardCorrupt(path string, cause error) {
 }
 
 func (c *Cache) save(key string, res *JobResult) error {
-	if err := os.MkdirAll(c.dir, 0o755); err != nil {
-		return err
-	}
 	data, err := json.Marshal(res)
 	if err != nil {
 		return err
@@ -178,22 +249,8 @@ func (c *Cache) save(key string, res *JobResult) error {
 	// path would let one writer rename the other's half-written file.
 	// Identical content makes the race benign — last rename wins with the
 	// same bytes.
-	tmp, err := os.CreateTemp(c.dir, "."+key+".tmp-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return atomicfile.Write(c.path(key), data, atomicfile.Options{
+		Faults: c.faults.Load(),
+		Point:  faultinject.PointCacheWrite,
+	})
 }

@@ -1,0 +1,340 @@
+package orchestrator
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// TestJournalTornTailEveryTruncationOffset is the byte-level pin for
+// truncate-and-continue: the journal is cut at EVERY offset inside its
+// final record (from "one byte of it written" to "all but the trailing
+// newline"), and each cut must (a) open without error, (b) preserve
+// every intact record, (c) lose at most the torn one, and (d) leave a
+// physically valid JSONL file behind.
+func TestJournalTornTailEveryTruncationOffset(t *testing.T) {
+	dir := t.TempDir()
+	master := filepath.Join(dir, "master.journal")
+
+	j := journalAt(t, master)
+	done, _ := quickJob("403.gcc").Normalize()
+	keep, _ := quickJob("429.mcf").Normalize()
+	last, _ := quickJob("434.zeusmp").Normalize()
+	j.submitted("job-000001", done.Key(), RequestOf(done))
+	j.ended("job-000001", done.Key(), StatusDone)
+	j.submitted("job-000002", keep.Key(), RequestOf(keep))
+	j.submitted("job-000003", last.Key(), RequestOf(last)) // the record to tear
+	j.Close()
+
+	data, err := os.ReadFile(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Fatal("master journal does not end in a newline")
+	}
+	lastStart := bytes.LastIndexByte(data[:len(data)-1], '\n') + 1
+
+	check := func(cut int, wantBench []string) {
+		t.Helper()
+		path := filepath.Join(dir, "cut.journal")
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jc, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("cut=%d: open failed: %v", cut, err)
+		}
+		pend := jc.Pending()
+		jc.Close()
+		var got []string
+		for _, req := range pend {
+			got = append(got, req.Benchmark)
+		}
+		if len(got) != len(wantBench) {
+			t.Fatalf("cut=%d: pending = %v, want %v", cut, got, wantBench)
+		}
+		for i := range got {
+			if got[i] != wantBench[i] {
+				t.Fatalf("cut=%d: pending = %v, want %v", cut, got, wantBench)
+			}
+		}
+		// The file on disk (compacted at open) must be pure valid JSONL.
+		after, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range bytes.Split(after, []byte("\n")) {
+			if len(line) == 0 {
+				continue
+			}
+			var ev journalEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatalf("cut=%d: invalid line survives reopen: %q", cut, line)
+			}
+		}
+	}
+
+	// Every strict prefix of the final record, including the no-newline
+	// full record at cut == len(data)-1: the torn submit is lost, the
+	// intact ones stay, the open never fails.
+	for cut := lastStart + 1; cut < len(data); cut++ {
+		check(cut, []string{"429.mcf"})
+	}
+	// Control cases: cleanly ended record set and the untouched file.
+	check(lastStart, []string{"429.mcf"})
+	check(len(data), []string{"429.mcf", "434.zeusmp"})
+}
+
+// TestJournalHugeTornTailDoesNotPoisonOpen pins the actual bug: a torn
+// tail larger than any line-scanner buffer used to fail OpenJournal
+// outright (bufio.ErrTooLong), turning one torn append into a lost
+// queue. Now it is truncated and the journal continues.
+func TestJournalHugeTornTailDoesNotPoisonOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.journal")
+	j := journalAt(t, path)
+	job, _ := quickJob("403.gcc").Normalize()
+	j.submitted("job-000001", job.Key(), RequestOf(job))
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 MiB of torn garbage, no newline.
+	garbage := bytes.Repeat([]byte("x"), 2<<20)
+	if _, err := f.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("open with 2MiB torn tail failed: %v", err)
+	}
+	defer j2.Close()
+	pend := j2.Pending()
+	if len(pend) != 1 || pend[0].Benchmark != "403.gcc" {
+		t.Fatalf("pending through huge torn tail = %+v, want the intact submit", pend)
+	}
+	if info, _ := os.Stat(path); info.Size() >= int64(len(garbage)) {
+		t.Fatalf("journal still holds %d bytes; torn tail not truncated", info.Size())
+	}
+}
+
+// TestCacheSweepsTmpOrphansAtOpen: stale write debris is deleted when a
+// cache opens over the directory; fresh temps and real entries survive.
+func TestCacheSweepsTmpOrphansAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	seed := NewCache(0, dir)
+	job, _ := quickJob("403.gcc").Normalize()
+	seed.Put(job.Key(), stubResult(job))
+
+	stale := filepath.Join(dir, "."+job.Key()+".json.tmp-111")
+	fresh := filepath.Join(dir, "."+job.Key()+".json.tmp-222")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte(`{"half":`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tmpOrphanGrace)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache(0, dir)
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale orphan survived the open-time sweep")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh temp (possibly a live writer) was swept")
+	}
+	if res, ok := c.Get(job.Key()); !ok || !res.Valid() {
+		t.Error("real cache entry lost to the sweep")
+	}
+}
+
+// TestCacheWriteFaultsDegradeAndRecover: consecutive injected store
+// failures flip Degraded; one successful write clears it.
+func TestCacheWriteFaultsDegradeAndRecover(t *testing.T) {
+	c := NewCache(0, t.TempDir())
+	in := faultinject.New(31)
+	in.Enable(faultinject.PointCacheWrite, faultinject.Plan{Rate: 1})
+	c.SetFaults(in)
+
+	benches := []string{"403.gcc", "429.mcf", "434.zeusmp"}
+	for i, b := range benches {
+		job, _ := quickJob(b).Normalize()
+		c.Put(job.Key(), stubResult(job))
+		if got, want := c.Degraded(), i == len(benches)-1; got != want {
+			t.Fatalf("Degraded after %d failed writes = %v, want %v", i+1, got, want)
+		}
+	}
+	in.Disable(faultinject.PointCacheWrite)
+	job, _ := quickJob("482.sphinx3").Normalize()
+	c.Put(job.Key(), stubResult(job))
+	if c.Degraded() {
+		t.Fatal("Degraded still set after a successful write")
+	}
+	// Memory-only caches never degrade, whatever the counters say.
+	mem := NewCache(0, "")
+	mem.SetFaults(in)
+	if mem.Degraded() {
+		t.Fatal("memory-only cache reports Degraded")
+	}
+}
+
+// TestCacheReadFaults: an injected short read discards the entry as
+// corrupt (recompute-once semantics); an injected read error is a miss
+// that leaves the file alone.
+func TestCacheReadFaults(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(0, dir)
+	job, _ := quickJob("403.gcc").Normalize()
+	c.Put(job.Key(), stubResult(job))
+
+	in := faultinject.New(32)
+	// A fresh cache so the lookup must go to disk.
+	c2 := NewCache(0, dir)
+	c2.SetFaults(in)
+	in.Enable(faultinject.PointCacheRead, faultinject.Plan{Rate: 1, MaxFires: 1})
+	if _, ok := c2.Get(job.Key()); ok {
+		t.Fatal("hit through an injected read error")
+	}
+	if _, err := os.Stat(filepath.Join(dir, job.Key()+".json")); err != nil {
+		t.Fatal("plain read error deleted the entry")
+	}
+	// Fault budget spent: the entry is readable again.
+	if _, ok := c2.Get(job.Key()); !ok {
+		t.Fatal("entry unreadable after fault budget spent")
+	}
+
+	// Short read: the prefix fails to decode and the corrupt-entry path
+	// removes the file so it is recomputed exactly once.
+	c3 := NewCache(0, dir)
+	c3.SetFaults(in)
+	in.Enable(faultinject.PointCacheRead, faultinject.Plan{Rate: 1, MaxFires: 1, Tear: 0.4})
+	if _, ok := c3.Get(job.Key()); ok {
+		t.Fatal("hit through an injected short read")
+	}
+	if _, err := os.Stat(filepath.Join(dir, job.Key()+".json")); !os.IsNotExist(err) {
+		t.Fatal("short-read-corrupted entry not discarded")
+	}
+}
+
+// TestDegradedReadOnlyMode drives the full degraded-mode contract
+// through the orchestrator: persistent journal write failures reject
+// new submits with ErrDegraded, cached results are still served, and a
+// healed disk is detected through the probe write so submissions
+// resume without intervention.
+func TestDegradedReadOnlyMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.journal")
+	j := journalAt(t, path)
+	in := faultinject.New(33)
+	j.SetFaults(in)
+
+	o := New(Config{Workers: 1, Journal: j, Run: countingRun(&sync.Mutex{}, new(int))})
+	defer func() { o.Close(); j.Close() }()
+
+	// Healthy: a job runs end to end (and its result is memoized).
+	first, err := o.Submit(quickJob("403.gcc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, o, first.ID)
+
+	// Sick disk: every append fails. Keep submitting until the
+	// consecutive-failure threshold trips (each accepted job costs a
+	// submit append plus, asynchronously, an end append).
+	in.Enable(faultinject.PointJournalAppend, faultinject.Plan{Rate: 1})
+	burn := []string{"429.mcf", "434.zeusmp", "470.lbm"}
+	for i := 0; i < 20 && !j.Degraded(); i++ {
+		rec, err := o.Submit(quickJob(burn[i%len(burn)]))
+		if errors.Is(err, ErrDegraded) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("submit during burn-in: %v", err)
+		}
+		waitDone(t, o, rec.ID)
+	}
+	if !j.Degraded() || !o.Degraded() {
+		t.Fatal("journal not degraded after persistent append failures")
+	}
+	if !o.Metrics().Degraded {
+		t.Fatal("Metrics().Degraded = false while degraded")
+	}
+
+	// New work is refused...
+	if _, err := o.Submit(quickJob("482.sphinx3")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("submit while degraded = %v, want ErrDegraded", err)
+	}
+	// ...but cached results are still served.
+	rec, err := o.Submit(quickJob("403.gcc"))
+	if err != nil || rec.Status != StatusDone {
+		t.Fatalf("cached submit while degraded: rec=%+v err=%v", rec, err)
+	}
+
+	// Disk heals. The first submit may still be rejected — it carries
+	// the probe that detects the recovery (a late end-append from the
+	// burn-in can also reset the counter first); the retry must land.
+	in.Disable(faultinject.PointJournalAppend)
+	rec2, err := o.Submit(quickJob("482.sphinx3"))
+	if errors.Is(err, ErrDegraded) {
+		rec2, err = o.Submit(quickJob("482.sphinx3"))
+	}
+	if err != nil {
+		t.Fatalf("submit after successful probe: %v", err)
+	}
+	waitDone(t, o, rec2.ID)
+	if o.Degraded() || o.Metrics().Degraded {
+		t.Fatal("still degraded after recovery")
+	}
+}
+
+// TestServerDegraded503: the HTTP layer maps ErrDegraded to 503 with a
+// Retry-After hint while reads keep answering.
+func TestServerDegraded503(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.journal")
+	j := journalAt(t, path)
+	in := faultinject.New(34)
+	j.SetFaults(in)
+	in.Enable(faultinject.PointJournalAppend, faultinject.Plan{Rate: 1})
+	// Burn the journal straight to the threshold.
+	job, _ := quickJob("403.gcc").Normalize()
+	for i := 0; i < degradedAfter; i++ {
+		j.ended("job-000000", job.Key(), StatusDone)
+	}
+
+	o := New(Config{Workers: 1, Journal: j, Run: countingRun(&sync.Mutex{}, new(int))})
+	defer func() { o.Close(); j.Close() }()
+	srv := NewServer(o)
+
+	body := strings.NewReader(`{"hierarchy":"conventional","benchmark":"403.gcc","mode":"quick","seed":1}`)
+	req := httptest.NewRequest("POST", "/v1/jobs", body)
+	rw := httptest.NewRecorder()
+	srv.ServeHTTP(rw, req)
+	if rw.Code != 503 {
+		t.Fatalf("submit while degraded = %d, want 503", rw.Code)
+	}
+	if rw.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+
+	// Reads stay up.
+	getReq := httptest.NewRequest("GET", "/v1/jobs", nil)
+	getRW := httptest.NewRecorder()
+	srv.ServeHTTP(getRW, getReq)
+	if getRW.Code != 200 {
+		t.Fatalf("GET while degraded = %d, want 200", getRW.Code)
+	}
+}

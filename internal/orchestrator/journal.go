@@ -2,12 +2,16 @@ package orchestrator
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
 
 // Journal is the orchestrator's append-only queue-state log: one JSON
@@ -46,7 +50,23 @@ type Journal struct {
 	// double-count. An unconsumed token means the owner never replayed
 	// that key, and its compacted line rightly keeps it pending.
 	credit map[string]int
+
+	// faults, when armed at faultinject.PointJournalAppend, makes
+	// appends fail the way a full or dying disk would.
+	faults *faultinject.Injector
+
+	// writeErrs counts consecutive append failures; any successful
+	// append resets it. At degradedAfter the journal reports Degraded
+	// and the orchestrator stops accepting work it could not make
+	// durable.
+	writeErrs atomic.Int64
 }
+
+// degradedAfter is how many consecutive durable-write failures flip a
+// store (journal or result cache) into the degraded state that sends
+// the daemon read-only. One failure can be a blip; three in a row with
+// no intervening success is a sick disk.
+const degradedAfter = 3
 
 // journalEvent is one line of the journal file.
 type journalEvent struct {
@@ -66,9 +86,21 @@ func OpenJournal(path string) (*Journal, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("orchestrator: journal dir: %w", err)
 	}
-	pending, err := loadPending(path)
+	pending, torn, err := loadPending(path)
 	if err != nil {
 		return nil, err
+	}
+	if torn >= 0 {
+		// A crash tore the final append mid-line. Physically truncate the
+		// file back to its last intact record before anything else: even
+		// if the compaction below fails, the journal on disk is valid
+		// JSONL again, and the cost is bounded by the journal's own
+		// contract — at worst one duplicate resubmission, which coalescing
+		// and the content-addressed cache make free.
+		fmt.Fprintf(os.Stderr, "orchestrator: journal %s: torn final line, truncating to %d bytes and continuing\n", path, torn)
+		if terr := os.Truncate(path, torn); terr != nil {
+			return nil, fmt.Errorf("orchestrator: journal truncate torn tail: %w", terr)
+		}
 	}
 	// Compact: rewrite the file with one submit line per pending key,
 	// atomically, before any new event is appended.
@@ -120,36 +152,49 @@ func OpenJournal(path string) (*Journal, error) {
 }
 
 // loadPending replays the journal file and returns the requests whose
-// submit count exceeds their end count, in first-submission order. A
-// missing file is an empty journal; unparseable lines (a crash mid-
-// append truncates at most the last one) are skipped.
-func loadPending(path string) ([]Request, error) {
-	f, err := os.Open(path)
+// submit count exceeds their end count, in first-submission order,
+// plus the byte offset of a torn final line (-1 when the tail is
+// intact). A missing file is an empty journal.
+//
+// Every complete append ends with '\n', so a final segment without one
+// is a torn write — a crash mid-append — whatever its bytes happen to
+// parse as. Tail damage of any size (including a torn line far larger
+// than any scanner buffer, which used to fail the whole open) is
+// reported for truncation, never an error: losing the newest record is
+// the journal's documented worst case, losing the whole queue is not.
+// Complete-but-unparseable lines elsewhere are foreign and skipped.
+func loadPending(path string) ([]Request, int64, error) {
+	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, -1, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("orchestrator: journal load: %w", err)
+		return nil, -1, fmt.Errorf("orchestrator: journal load: %w", err)
 	}
-	defer f.Close()
 	type entry struct {
 		open  int // submits minus ends
 		first int // line of first submission, for stable ordering
 		req   Request
 	}
 	entries := map[string]*entry{}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	torn := int64(-1)
 	line := 0
-	for sc.Scan() {
+	for off := 0; off < len(raw); {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			// No terminator: the append that wrote this was cut short.
+			torn = int64(off)
+			break
+		}
+		rec := raw[off : off+nl]
+		off += nl + 1
 		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
+		if len(rec) == 0 {
 			continue
 		}
 		var ev journalEvent
-		if err := json.Unmarshal(raw, &ev); err != nil || ev.Key == "" {
-			continue // truncated or foreign line
+		if err := json.Unmarshal(rec, &ev); err != nil || ev.Key == "" {
+			continue // foreign line
 		}
 		e := entries[ev.Key]
 		switch ev.Op {
@@ -168,9 +213,6 @@ func loadPending(path string) ([]Request, error) {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("orchestrator: journal load: %w", err)
-	}
 	var open []*entry
 	for _, e := range entries {
 		if e.open > 0 {
@@ -182,7 +224,7 @@ func loadPending(path string) ([]Request, error) {
 	for i, e := range open {
 		out[i] = e.req
 	}
-	return out, nil
+	return out, torn, nil
 }
 
 // Pending returns the requests that were submitted but not terminal
@@ -196,6 +238,31 @@ func (j *Journal) Pending() []Request {
 
 // Path returns the journal file's location.
 func (j *Journal) Path() string { return j.path }
+
+// SetFaults arms the journal's append path with a fault injector (nil
+// disarms). Test and chaos-mode plumbing only.
+func (j *Journal) SetFaults(in *faultinject.Injector) {
+	j.mu.Lock()
+	j.faults = in
+	j.mu.Unlock()
+}
+
+// Degraded reports whether the journal has failed degradedAfter
+// consecutive appends — the signal that sends the orchestrator
+// read-only, because accepted work would not survive a restart.
+func (j *Journal) Degraded() bool {
+	return j.writeErrs.Load() >= degradedAfter
+}
+
+// probe attempts one durable write so a degraded journal can notice
+// the disk healed. The probe line has no key, so replay skips it as
+// foreign and the next compaction drops it. Called by the orchestrator
+// when it rejects a submit in degraded mode: the rejection stands, but
+// a successful probe resets the failure count and the next submit is
+// accepted again.
+func (j *Journal) probe() {
+	j.append(journalEvent{Op: "probe"})
+}
 
 // Close releases the journal file. Pending state stays on disk.
 func (j *Journal) Close() error {
@@ -244,11 +311,27 @@ func (j *Journal) append(ev journalEvent) {
 	if j.f == nil {
 		return
 	}
+	if out := j.faults.At(faultinject.PointJournalAppend); out.Fired {
+		j.noteAppendError(fmt.Errorf("journal append %s/%s: %w", ev.Op, ev.Key, out.ErrOrDefault()))
+		return
+	}
 	if _, err := j.f.Write(data); err != nil {
-		fmt.Fprintf(os.Stderr, "orchestrator: journal append: %v\n", err)
+		j.noteAppendError(fmt.Errorf("journal append: %w", err))
 		return
 	}
 	if err := j.f.Sync(); err != nil {
-		fmt.Fprintf(os.Stderr, "orchestrator: journal sync: %v\n", err)
+		j.noteAppendError(fmt.Errorf("journal sync: %w", err))
+		return
+	}
+	j.writeErrs.Store(0)
+}
+
+// noteAppendError logs a failed durable write and advances the
+// consecutive-failure count that feeds Degraded.
+func (j *Journal) noteAppendError(err error) {
+	n := j.writeErrs.Add(1)
+	fmt.Fprintf(os.Stderr, "orchestrator: %v (%d consecutive)\n", err, n)
+	if n == degradedAfter {
+		fmt.Fprintf(os.Stderr, "orchestrator: journal %s: %d consecutive write failures — entering degraded (read-only) mode\n", j.path, n)
 	}
 }

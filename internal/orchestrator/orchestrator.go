@@ -436,6 +436,14 @@ func (o *Orchestrator) register(reg *obs.Registry) {
 	reg.GaugeFunc("lnuca_workers",
 		"Size of the worker pool.",
 		gauge(func(m *Metrics) float64 { return float64(m.Workers) }))
+	reg.GaugeFunc("lnuca_fleet_degraded",
+		"1 while persistent journal/store write failures hold the daemon read-only (submits answered 503), 0 otherwise.",
+		gauge(func(m *Metrics) float64 {
+			if m.Degraded {
+				return 1
+			}
+			return 0
+		}))
 	reg.GaugeFunc("lnuca_uptime_seconds",
 		"Seconds since the orchestrator started.",
 		gauge(func(m *Metrics) float64 { return m.UptimeSeconds }))
@@ -480,6 +488,38 @@ var ErrClosed = errors.New("orchestrator: closed")
 // HTTP layer maps it to 429 with a Retry-After hint, and clients retry
 // with backoff. Coalesced and cache-hit submissions are never rejected.
 var ErrQueueFull = errors.New("orchestrator: queue full")
+
+// ErrDegraded is returned by Submit while the journal or result store
+// is failing durable writes persistently: accepting a job whose
+// submission cannot be journaled (or whose result cannot be stored)
+// would silently break the restart and never-simulate-twice contracts,
+// so the daemon goes read-only instead of wedging. The HTTP layer maps
+// it to 503 with a Retry-After hint. Coalesced and cache-hit
+// submissions are still served — reads stay up.
+var ErrDegraded = errors.New("orchestrator: degraded (read-only): persistent journal/store write failures")
+
+// Degraded reports whether the orchestrator is refusing new work
+// because its journal or result store has hit persistent write errors.
+// It clears itself: the next successful durable write resets the
+// consecutive-failure count.
+func (o *Orchestrator) Degraded() bool {
+	if o.cache.Degraded() {
+		return true
+	}
+	return o.cfg.Journal != nil && o.cfg.Journal.Degraded()
+}
+
+// probeDegraded pokes whichever store is sick with one durable write,
+// so recovery is observed even when no in-flight job remains to reset
+// the failure count through its own completion writes.
+func (o *Orchestrator) probeDegraded() {
+	if o.cfg.Journal != nil && o.cfg.Journal.Degraded() {
+		o.cfg.Journal.probe()
+	}
+	if o.cache.Degraded() {
+		o.cache.probe()
+	}
+}
 
 // Submit enqueues a job. Identical content is never computed twice: a
 // cache hit returns an already-done record; a submission identical to a
@@ -577,6 +617,17 @@ func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
 	if o.cfg.QueueCap > 0 && o.queue.Len() >= o.cfg.QueueCap {
 		o.mu.Unlock()
 		return JobRecord{}, ErrQueueFull
+	}
+	// Read-only degraded mode: refuse work that could not be made
+	// durable. Checked after the coalesce/cache paths above, so reads
+	// and already-computed results keep flowing while the disk is sick.
+	// The rejection stands, but each one probes the sick store: once the
+	// disk heals, the probe succeeds, the failure count resets, and the
+	// next submit is accepted — no operator intervention needed.
+	if o.Degraded() {
+		o.mu.Unlock()
+		o.probeDegraded()
+		return JobRecord{}, ErrDegraded
 	}
 	o.submitted++
 	t := o.newTaskLocked(nj, key)
@@ -813,6 +864,7 @@ type Metrics struct {
 	CacheHitRate  float64 `json:"cache_hit_rate"`
 	RunsPerSecond float64 `json:"runs_per_second"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	Degraded      bool    `json:"degraded"`
 }
 
 // Metrics snapshots the counters. Queue depth, the running count and
@@ -846,6 +898,7 @@ func (o *Orchestrator) Metrics() Metrics {
 	m.CacheMisses = o.cache.Misses()
 	m.CacheHitRate = o.cache.HitRate()
 	m.UptimeSeconds = up
+	m.Degraded = o.Degraded()
 	if up > 0 {
 		m.RunsPerSecond = float64(m.Executed) / up
 	}

@@ -97,6 +97,15 @@ func writeThrottled(w http.ResponseWriter, wait time.Duration, format string, ar
 	writeError(w, http.StatusTooManyRequests, format, args...)
 }
 
+// writeDegraded answers 503 with a Retry-After hint: the daemon is
+// read-only while its journal/store cannot make accepted work durable.
+// Unlike the 429 backpressure path this is not the client's fault, and
+// the hint is longer — disks do not heal in a second.
+func writeDegraded(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "10")
+	writeError(w, http.StatusServiceUnavailable, "%v", err)
+}
+
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -204,6 +213,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			writeThrottled(w, time.Second, "%v", err)
 			return
 		}
+		if errors.Is(err, ErrDegraded) {
+			writeDegraded(w, err)
+			return
+		}
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "%v", err)
 			return
@@ -272,6 +285,12 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		// Cells accepted before the queue filled keep running; retrying
 		// the sweep later re-dedups them via coalescing and the cache.
 		writeThrottled(w, time.Second, "%v", err)
+		return
+	}
+	if errors.Is(err, ErrDegraded) {
+		// Same partial-acceptance semantics as a filled queue: the sweep
+		// retried after recovery re-dedups already-accepted cells.
+		writeDegraded(w, err)
 		return
 	}
 	if err != nil {

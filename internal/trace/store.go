@@ -7,8 +7,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/atomicfile"
 	"repro/internal/cpu"
+	"repro/internal/faultinject"
 )
 
 // Store is the content-addressed trace store that sits next to the
@@ -24,6 +28,10 @@ type Store struct {
 	dir     string
 	mem     map[string]*Trace // decoded traces (all of them when dir == "")
 	headers map[string]Header // known headers, keyed by id
+
+	// faults arms the persist path (trace_write injection point); nil
+	// when chaos is off.
+	faults atomic.Pointer[faultinject.Injector]
 }
 
 // ext is the trace file extension.
@@ -37,15 +45,32 @@ const ext = ".lntrace"
 // not capped.
 const maxMemTraces = 256
 
+// tmpOrphanGrace mirrors the result cache's sweep window: stray temp
+// files older than this at open are debris from crashed writers,
+// younger ones may still be renamed into place by a sibling process.
+const tmpOrphanGrace = time.Hour
+
 // NewStore returns a store over dir ("" = memory only). The directory is
-// created on first Put.
+// created on first Put; stale temp orphans from crashed writers are
+// swept at open.
 func NewStore(dir string) *Store {
+	if dir != "" {
+		if removed, err := atomicfile.SweepOrphans(dir, tmpOrphanGrace); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: orphan sweep: %v\n", err)
+		} else if len(removed) > 0 {
+			fmt.Fprintf(os.Stderr, "trace: store %s: swept %d stale tmp orphan(s)\n", dir, len(removed))
+		}
+	}
 	return &Store{
 		dir:     dir,
 		mem:     make(map[string]*Trace),
 		headers: make(map[string]Header),
 	}
 }
+
+// SetFaults arms the store's persist path with a fault injector (nil
+// disarms). Test and chaos-mode plumbing only.
+func (s *Store) SetFaults(in *faultinject.Injector) { s.faults.Store(in) }
 
 // Put stores a trace under its content hash and returns the header. The
 // hash is recomputed from the ops, so a tampered Trace value cannot
@@ -109,32 +134,15 @@ func (s *Store) path(id string) string {
 }
 
 func (s *Store) persist(id string, data []byte) error {
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return err
-	}
 	// Unique temp name per writer + atomic rename: concurrent processes
 	// sharing the store (fleet workers pushing the same trace) must not
 	// clobber each other's in-progress temp file. Content addressing
 	// makes concurrent identical writes benign — last rename wins with
 	// identical bytes.
-	tmp, err := os.CreateTemp(s.dir, "."+id+".tmp-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), s.path(id)); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return atomicfile.Write(s.path(id), data, atomicfile.Options{
+		Faults: s.faults.Load(),
+		Point:  faultinject.PointTraceWrite,
+	})
 }
 
 // Get returns the trace with the given content hash. A stored file whose

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// TestStoreSweepsTmpOrphansAtOpen: debris from a writer killed between
+// create and rename is deleted when the store opens — but only past the
+// grace window, so a live sibling writer's temp survives. Real trace
+// files are never touched.
+func TestStoreSweepsTmpOrphansAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(dir)
+	tr := New(sampleMeta(), sampleOps())
+	hdr, err := s.Put(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stale := filepath.Join(dir, "."+hdr.ID+".tmp-1234")
+	fresh := filepath.Join(dir, "."+hdr.ID+".tmp-5678")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("half a trace"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tmpOrphanGrace)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewStore(dir)
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale orphan survived the open-time sweep")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh temp (possibly a live writer) was swept")
+	}
+	if !s2.Has(hdr.ID) {
+		t.Error("real trace lost to the sweep")
+	}
+	if got, err := s2.Get(hdr.ID); err != nil || got.ID() != hdr.ID {
+		t.Errorf("Get after sweep: %v", err)
+	}
+}
+
+// TestStorePersistFaultLeavesDebrisNotGarbage: an injected torn write
+// fails the Put loudly, leaves only temp debris (never a half-written
+// .lntrace that a reader could trip over), and the next attempt
+// succeeds.
+func TestStorePersistFaultLeavesDebrisNotGarbage(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(dir)
+	in := faultinject.New(21)
+	in.Enable(faultinject.PointTraceWrite, faultinject.Plan{Rate: 1, MaxFires: 1, Tear: 0.5})
+	s.SetFaults(in)
+
+	tr := New(sampleMeta(), sampleOps())
+	if _, err := s.Put(tr); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Put under torn write = %v, want wrapped ErrInjected", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ext) {
+			t.Fatalf("torn write left a visible trace file %s", e.Name())
+		}
+	}
+	hdr, err := s.Put(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get(hdr.ID); err != nil || got.ID() != hdr.ID {
+		t.Fatalf("Get after retried Put: %v", err)
+	}
+}
