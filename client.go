@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs/tracez"
 	"repro/internal/orchestrator"
 )
 
@@ -48,6 +49,18 @@ type Client struct {
 	RetryBaseDelay time.Duration
 	RetryMaxDelay  time.Duration
 
+	// Tracer, when set, opens lnuca.client.* spans around Submit and
+	// SubmitSweep and propagates their context to the service as a
+	// traceparent header, so the daemon's job spans parent under the
+	// caller's. Nil disables client-side tracing entirely. Prefer
+	// EnableTracing, which also ships finished spans to the daemon.
+	Tracer *tracez.Tracer
+
+	// spanCol collects this client's finished spans for best-effort
+	// delivery to POST /v1/spans; set by EnableTracing, nil when the
+	// caller owns the Tracer's recorder.
+	spanCol *tracez.Collector
+
 	// sleepFn overrides the backoff sleep. Tests inject it to assert the
 	// chosen delays (e.g. a 429's Retry-After) without spending
 	// wall-clock time; nil means a real timer.
@@ -61,6 +74,18 @@ func NewClient(addr string) *Client {
 		addr = "http://" + addr
 	}
 	return &Client{BaseURL: strings.TrimSuffix(addr, "/")}
+}
+
+// EnableTracing turns on client-side distributed tracing: Submit and
+// SubmitSweep open spans, every request carries the ambient trace as a
+// traceparent header, and finished client spans are shipped to the
+// daemon's POST /v1/spans after each submission (best-effort — span
+// delivery never fails an API call). Returns c for chaining.
+func (c *Client) EnableTracing() *Client {
+	col := &tracez.Collector{}
+	c.spanCol = col
+	c.Tracer = tracez.New(col)
+	return c
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -122,6 +147,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body io.Reader
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if h := tracez.Inject(ctx); h != "" {
+		req.Header.Set(tracez.HeaderName, h)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -283,9 +311,29 @@ func (c *Client) TraceInfo(ctx context.Context, id string) (TraceInfo, error) {
 // Submit posts one Request and returns its record immediately — Status
 // is StatusDone when the service answered from its result cache.
 func (c *Client) Submit(ctx context.Context, req Request) (JobRecord, error) {
+	span, sctx := c.Tracer.Start(ctx, "lnuca.client.submit")
+	if req.Benchmark != "" {
+		span.SetAttr("benchmark", req.Benchmark)
+	}
 	var rec JobRecord
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &rec)
+	err := c.do(sctx, http.MethodPost, "/v1/jobs", req, &rec)
+	span.SetError(err)
+	span.Finish()
+	c.shipSpans(ctx)
 	return rec, err
+}
+
+// shipSpans drains EnableTracing's collector to POST /v1/spans. Best
+// effort: telemetry loss never surfaces as an API error.
+func (c *Client) shipSpans(ctx context.Context) {
+	if c.spanCol == nil {
+		return
+	}
+	spans := c.spanCol.Drain()
+	if len(spans) == 0 {
+		return
+	}
+	_ = c.do(ctx, http.MethodPost, "/v1/spans", map[string]interface{}{"spans": spans}, nil)
 }
 
 // Job polls one submitted run by ID.
@@ -397,8 +445,16 @@ type SweepSubmission struct {
 // SubmitSweep fans a Sweep out on the service: one job per matrix cell,
 // deduplicated and cache-served exactly as individual Submits would be.
 func (c *Client) SubmitSweep(ctx context.Context, sweep Sweep) (SweepSubmission, error) {
+	// The sweep span traces the submission round trip only: each cell
+	// roots its own trace on the daemon (a thousand-point sweep sharing
+	// one trace would be unreadable and would overflow any per-trace
+	// span bound).
+	span, sctx := c.Tracer.Start(ctx, "lnuca.client.sweep")
 	var sub SweepSubmission
-	err := c.do(ctx, http.MethodPost, "/v1/sweeps", sweep, &sub)
+	err := c.do(sctx, http.MethodPost, "/v1/sweeps", sweep, &sub)
+	span.SetError(err)
+	span.Finish()
+	c.shipSpans(ctx)
 	return sub, err
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	lightnuca "repro"
+	"repro/internal/obs/tracez"
 	"repro/internal/orchestrator"
 )
 
@@ -165,5 +166,69 @@ func TestClientErrorEnvelope(t *testing.T) {
 	}
 	if _, err := client.Job(context.Background(), "job-999999"); err == nil {
 		t.Fatal("unknown job id accepted")
+	}
+}
+
+// TestClientTracingPropagates pins client-side tracing end to end over
+// HTTP: EnableTracing makes Submit open lnuca.client.submit, propagate
+// its context in the traceparent header, and ship the finished span to
+// POST /v1/spans — so the service's flight recorder ends up holding one
+// tree rooted at the client span, with the orchestrator's submit span
+// parented under it.
+func TestClientTracingPropagates(t *testing.T) {
+	flight := tracez.NewFlightRecorder(0, 0, 0)
+	ts, _ := stubServer(t, orchestrator.Config{
+		Workers: 1,
+		Run:     instantRun,
+		Tracer:  tracez.New(flight),
+		Flight:  flight,
+	})
+	client := lightnuca.NewClient(ts.URL).EnableTracing()
+	client.PollInterval = time.Millisecond
+	ctx := context.Background()
+
+	rec, err := client.Submit(ctx, lightnuca.Request{Hierarchy: "ln+l3", Benchmark: "403.gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TraceID == "" {
+		t.Fatal("traced submission returned no trace ID")
+	}
+	if _, err := client.Wait(ctx, rec.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Submit ships its span before returning, but the orchestrator's own
+	// spans finish on its goroutines; poll for both sides of the tree.
+	var spans []tracez.Span
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		spans = flight.Spans(rec.TraceID)
+		var haveClient, haveOrch bool
+		for _, s := range spans {
+			haveClient = haveClient || s.Name == "lnuca.client.submit"
+			haveOrch = haveOrch || s.Name == "lnuca.orch.submit"
+		}
+		if haveClient && haveOrch {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var rootID string
+	for _, s := range spans {
+		if s.Name == "lnuca.client.submit" {
+			if s.Parent != "" {
+				t.Fatalf("client span has parent %s, want root", s.Parent)
+			}
+			rootID = s.SpanID
+		}
+	}
+	if rootID == "" {
+		t.Fatalf("client span never reached the service recorder (spans: %d)", len(spans))
+	}
+	for _, s := range spans {
+		if s.Name == "lnuca.orch.submit" && s.Parent != rootID {
+			t.Fatalf("orch.submit parent = %s, want the client span %s — the traceparent header did not propagate", s.Parent, rootID)
+		}
 	}
 }

@@ -48,6 +48,17 @@
 // adds the lnuca_fleet_* series), GET /healthz reports build info and
 // uptime, and -debug-addr starts a second, normally-off listener exposing
 // net/http/pprof — keep it bound to localhost.
+// -mutex-profile-fraction and -block-profile-rate turn on runtime
+// contention sampling for that listener's mutex/block profiles.
+//
+// Distributed tracing is always on in daemon mode: every job grows a
+// span tree (client submit → orchestrator queue/run → fleet dispatch →
+// worker execution → simulation phases) held in a bounded in-memory
+// flight recorder. GET /v1/traces/{jobid}/spans returns one job's tree
+// with its correlated lease/fault events, GET /debug/tracez renders an
+// HTML summary, GET /v1/sweeps/{id}/progress aggregates a sweep
+// (per-point states, throughput, ETA, stragglers, per-worker load), and
+// -span-log appends every finished span as JSONL for offline analysis.
 package main
 
 import (
@@ -67,6 +78,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/fleet"
 	"repro/internal/obs"
+	"repro/internal/obs/tracez"
 	"repro/internal/orchestrator"
 	"repro/internal/trace"
 )
@@ -92,6 +104,9 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	debugAddr := flag.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled)")
+	spanLog := flag.String("span-log", "", "append every finished span as one JSON line to this file (empty = disabled)")
+	mutexFraction := flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for the -debug-addr mutex profile (0 = off)")
+	blockRate := flag.Int("block-profile-rate", 0, "sample blocking events lasting >= n nanoseconds for the -debug-addr block profile (0 = off)")
 	version := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
 
@@ -116,6 +131,15 @@ func main() {
 		*traceDir = filepath.Join(*cacheDir, "traces")
 	}
 
+	// Contention sampling feeds the pprof mutex/block profiles; the
+	// fractions apply process-wide, so a worker can be sampled too.
+	if *mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+
 	if *workerMode {
 		if *coordinatorURL == "" {
 			fmt.Fprintln(os.Stderr, "lnucad: -worker requires -coordinator")
@@ -137,11 +161,41 @@ func main() {
 	}
 
 	registry := obs.NewRegistry()
+
+	// The flight recorder (bounded ring of recent traces + lease/fault
+	// events) is always on: its memory is capped and spans cost nothing
+	// on the simulation hot path. -span-log adds a durable JSONL feed.
+	flight := tracez.NewFlightRecorder(0, 0, 0)
+	var spanSink tracez.Recorder = flight
+	var spanLogFile *os.File
+	if *spanLog != "" {
+		f, ferr := os.OpenFile(*spanLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "lnucad: -span-log:", ferr)
+			os.Exit(1)
+		}
+		spanLogFile = f
+		spanSink = tracez.Tee(flight, tracez.NewJSONLRecorder(f))
+	}
+	spanCounts := registry.CounterVec("lnuca_spans_recorded_total",
+		"Finished spans landed in the daemon's recorder, by span name.", "name")
+	spanRec := tracez.RecorderFunc(func(s tracez.Span) {
+		spanCounts.With(s.Name).Inc()
+		spanSink.Record(s)
+	})
+	registry.CounterFunc("lnuca_spans_dropped_total",
+		"Spans the flight recorder dropped at its per-trace bound (the JSONL log still sees them).",
+		func() uint64 { return uint64(flight.DroppedSpans()) })
+	registry.GaugeFunc("lnuca_trace_buffer_traces",
+		"Traces currently retained in the flight recorder's ring.",
+		flight.RetainedTraces)
+	tracer := tracez.New(spanRec)
+
 	traces := trace.NewStore(*traceDir)
 	cache := orchestrator.NewCache(*cacheCap, *cacheDir)
 	var faults *faultinject.Injector
 	if *chaosSeed != 0 {
-		faults = armChaos(*chaosSeed, false, registry)
+		faults = armChaos(*chaosSeed, false, registry, flight)
 		cache.SetFaults(faults)
 		traces.SetFaults(faults)
 		if journal != nil {
@@ -158,6 +212,8 @@ func main() {
 		Registry: registry,
 		QueueCap: *queueCap,
 		Journal:  journal,
+		Tracer:   tracer,
+		Flight:   flight,
 	}
 	var coord *fleet.Coordinator
 	routeLabel := orchestrator.RouteLabel
@@ -168,6 +224,8 @@ func main() {
 			Traces:      traces,
 			Logger:      log,
 			Registry:    registry,
+			Events:      flight,
+			Spans:       tracer.Recorder(),
 		})
 		ocfg.Run = coord.Dispatch
 		routeLabel = fleet.RouteLabel
@@ -238,6 +296,7 @@ func main() {
 		"cache", cacheLabel(*cacheDir),
 		"traces", cacheLabel(*traceDir),
 		"journal", cacheLabel(*journalPath),
+		"span_log", cacheLabel(*spanLog),
 		"schema", orchestrator.RequestSchema,
 		"version", build.Version,
 		"commit", build.Commit,
@@ -270,6 +329,9 @@ func main() {
 	if journal != nil {
 		_ = journal.Close()
 	}
+	if spanLogFile != nil {
+		_ = spanLogFile.Close()
+	}
 	os.Exit(exitCode)
 }
 
@@ -291,7 +353,7 @@ func runWorker(log *slog.Logger, coordinator, name, cacheDir string, cacheCap in
 	var faults *faultinject.Injector
 	var client *http.Client
 	if chaosSeed != 0 {
-		faults = armChaos(chaosSeed, true, nil)
+		faults = armChaos(chaosSeed, true, nil, nil)
 		client = &http.Client{
 			Timeout:   30 * time.Second,
 			Transport: &faultinject.Transport{Injector: faults, Point: faultinject.PointWorkerHTTP},
@@ -322,9 +384,11 @@ func runWorker(log *slog.Logger, coordinator, name, cacheDir string, cacheCap in
 // armChaos builds the -chaos-seed injector: documented moderate-rate
 // plans for either the daemon (store + server-side HTTP faults) or a
 // worker (execution + transport faults). Every fire is counted in
-// lnuca_fault_injected_total{point} when a registry is given; the seed
+// lnuca_fault_injected_total{point} when a registry is given, and
+// recorded as a "fault" event — carrying the affected trace ID when the
+// faulted operation had one — when a flight recorder is given. The seed
 // alone reproduces the schedule.
-func armChaos(seed int64, worker bool, reg *obs.Registry) *faultinject.Injector {
+func armChaos(seed int64, worker bool, reg *obs.Registry, flight *tracez.FlightRecorder) *faultinject.Injector {
 	in := faultinject.New(seed)
 	if worker {
 		in.Enable(faultinject.PointWorkerCrash, faultinject.Plan{Rate: 0.05})
@@ -340,6 +404,9 @@ func armChaos(seed int64, worker bool, reg *obs.Registry) *faultinject.Injector 
 		vec := reg.CounterVec("lnuca_fault_injected_total",
 			"Faults fired by the -chaos-seed injector, by injection point.", "point")
 		in.OnFire(func(p faultinject.Point) { vec.With(string(p)).Inc() })
+	}
+	if flight != nil {
+		in.OnEvent(func(e faultinject.Event) { flight.Event("fault", e.TraceID, string(e.Point)) })
 	}
 	return in
 }

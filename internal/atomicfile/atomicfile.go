@@ -36,6 +36,10 @@ type Options struct {
 	// A nil injector is inert.
 	Faults *faultinject.Injector
 	Point  faultinject.Point
+	// TraceID, when the write happens on behalf of a traced request,
+	// attributes an injected failure to that trace in the fault-event
+	// stream. Empty is fine: the firing is recorded unattributed.
+	TraceID string
 }
 
 // Write atomically replaces path with data: temp file in the same
@@ -54,7 +58,7 @@ func Write(path string, data []byte, opts Options) error {
 	if err != nil {
 		return err
 	}
-	if out := opts.Faults.At(opts.Point); out.Fired {
+	if out := opts.Faults.AtE(opts.Point, opts.TraceID); out.Fired {
 		payload := data
 		if out.Tear > 0 {
 			n := int(out.Tear * float64(len(data)))

@@ -28,6 +28,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs/tracez"
 )
 
 // Point names one injection site. The catalog is small and closed on
@@ -165,13 +167,23 @@ type pointState struct {
 	fires uint64
 }
 
+// Event is one fault firing, correlated to the distributed trace whose
+// request tripped it. TraceID is "" when the site had no trace context
+// (background probes, untraced submissions) — the firing is still
+// recorded, just unattributed.
+type Event struct {
+	Point   Point
+	TraceID string
+}
+
 // Injector owns the armed points. Safe for concurrent use; a nil
 // *Injector is inert.
 type Injector struct {
-	seed   int64
-	mu     sync.Mutex
-	points map[Point]*pointState
-	onFire func(Point)
+	seed    int64
+	mu      sync.Mutex
+	points  map[Point]*pointState
+	onFire  func(Point)
+	onEvent func(Event)
 }
 
 // New returns an injector whose every decision derives from seed.
@@ -220,9 +232,28 @@ func (in *Injector) OnFire(fn func(Point)) {
 	in.onFire = fn
 }
 
+// OnEvent registers fn to be called (outside the injector's lock) each
+// time any point fires, carrying the trace ID of the request that
+// tripped it when the call site knew one — the hook the flight recorder
+// uses to correlate chaos with span trees. Both hooks fire on every
+// event; OnFire remains for counters that only need the point.
+func (in *Injector) OnEvent(fn func(Event)) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.onEvent = fn
+}
+
 // At asks whether point should fail right now. Nil-safe: a nil
 // injector, or an unarmed point, returns the zero (unfired) Outcome.
 func (in *Injector) At(p Point) Outcome {
+	return in.AtE(p, "")
+}
+
+// AtE is At with the trace ID of the operation being injected into,
+// forwarded to the OnEvent hook. Instrumented sites that hold a trace
+// context (HTTP transports and middlewares, the result cache's persist
+// path) call this; sites with none call At.
+func (in *Injector) AtE(p Point, traceID string) Outcome {
 	if in == nil {
 		return Outcome{Point: p}
 	}
@@ -237,9 +268,11 @@ func (in *Injector) At(p Point) Outcome {
 		(st.plan.MaxFires == 0 || st.fires < uint64(st.plan.MaxFires)) &&
 		(st.plan.Rate >= 1 || st.rng.Float64() < st.plan.Rate)
 	var hook func(Point)
+	var eventHook func(Event)
 	if fire {
 		st.fires++
 		hook = in.onFire
+		eventHook = in.onEvent
 	}
 	plan := st.plan
 	in.mu.Unlock()
@@ -248,6 +281,9 @@ func (in *Injector) At(p Point) Outcome {
 	}
 	if hook != nil {
 		hook(p)
+	}
+	if eventHook != nil {
+		eventHook(Event{Point: p, TraceID: traceID})
 	}
 	return Outcome{
 		Point:      p,
@@ -376,13 +412,19 @@ func hashPoint(p Point) uint64 {
 
 // Middleware wraps next with server-side HTTP fault injection: when
 // point fires, the request is answered with the planned status (503 if
-// the plan named none) and the real handler never runs.
+// the plan named none) and the real handler never runs. Firings are
+// attributed to the incoming request's traceparent trace ID, so a
+// chaos-injected 503 shows up as an event on the trace it failed.
 func Middleware(next http.Handler, in *Injector, p Point) http.Handler {
 	if in == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		out := in.At(p)
+		var traceID string
+		if sc, ok := tracez.ParseHeader(r.Header.Get(tracez.HeaderName)); ok {
+			traceID = sc.TraceID
+		}
+		out := in.AtE(p, traceID)
 		out.Sleep(r.Context())
 		if !out.Fired {
 			next.ServeHTTP(w, r)

@@ -129,6 +129,74 @@ func TestOnFireHook(t *testing.T) {
 	}
 }
 
+// TestOnEventHook: every fire produces exactly one event, carrying the
+// trace ID the call site supplied — the contract the flight recorder's
+// chaos correlation relies on.
+func TestOnEventHook(t *testing.T) {
+	in := New(9)
+	var fires, events int
+	var lastTrace string
+	in.OnFire(func(Point) { fires++ })
+	in.OnEvent(func(e Event) {
+		events++
+		lastTrace = e.TraceID
+		if e.Point != PointCacheWrite {
+			t.Errorf("event point = %s", e.Point)
+		}
+	})
+	in.Enable(PointCacheWrite, Plan{Rate: 1, MaxFires: 3})
+	in.At(PointCacheWrite)
+	in.AtE(PointCacheWrite, "deadbeefdeadbeefdeadbeefdeadbeef")
+	in.AtE(PointCacheWrite, "cafe0000cafe0000cafe0000cafe0000")
+	in.At(PointCacheWrite) // past MaxFires: no event
+	if fires != 3 || events != 3 {
+		t.Fatalf("fires=%d events=%d, want 3/3 — every counted fire must have an event", fires, events)
+	}
+	if lastTrace != "cafe0000cafe0000cafe0000cafe0000" {
+		t.Fatalf("event trace id = %q", lastTrace)
+	}
+}
+
+// TestMiddlewareTraceAttribution: a server-side firing is attributed to
+// the incoming request's traceparent trace ID.
+func TestMiddlewareTraceAttribution(t *testing.T) {
+	in := New(11)
+	in.Enable(PointCoordHTTP, Plan{Rate: 1, MaxFires: 1})
+	var got Event
+	in.OnEvent(func(e Event) { got = e })
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}), in, PointCoordHTTP)
+	traceID := "0123456789abcdef0123456789abcdef"
+	req := httptest.NewRequest("POST", "/v1/jobs", nil)
+	req.Header.Set("traceparent", "00-"+traceID+"-00f067aa0ba902b7-01")
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("injected status = %d", rr.Code)
+	}
+	if got.Point != PointCoordHTTP || got.TraceID != traceID {
+		t.Fatalf("event = %+v, want coord_http on trace %s", got, traceID)
+	}
+}
+
+// TestTransportTraceAttribution: a client-side firing is attributed to
+// the outgoing request's traceparent trace ID.
+func TestTransportTraceAttribution(t *testing.T) {
+	in := New(12)
+	in.Enable(PointWorkerHTTP, Plan{Rate: 1, MaxFires: 1})
+	var got Event
+	in.OnEvent(func(e Event) { got = e })
+	client := &http.Client{Transport: &Transport{Injector: in, Point: PointWorkerHTTP}}
+	traceID := "fedcba9876543210fedcba9876543210"
+	req, _ := http.NewRequest("GET", "http://127.0.0.1:0/fleet/v1/lease", nil)
+	req.Header.Set("traceparent", "00-"+traceID+"-00f067aa0ba902b7-01")
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("injected connection refusal did not error")
+	}
+	if got.Point != PointWorkerHTTP || got.TraceID != traceID {
+		t.Fatalf("event = %+v, want worker_http on trace %s", got, traceID)
+	}
+}
+
 // TestOutcomeDefaults: a bare plan injects ErrInjected; a planned error
 // is passed through.
 func TestOutcomeDefaults(t *testing.T) {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"repro/internal/obs/tracez"
 )
 
 // Transport is an http.RoundTripper that consults one injection point
@@ -34,9 +36,14 @@ func (t *Transport) base() http.RoundTripper {
 	return http.DefaultTransport
 }
 
-// RoundTrip implements http.RoundTripper.
+// RoundTrip implements http.RoundTripper. Firings are attributed to
+// the outgoing request's traceparent trace ID when one is set.
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
-	out := t.Injector.At(t.Point)
+	var traceID string
+	if sc, ok := tracez.ParseHeader(req.Header.Get(tracez.HeaderName)); ok {
+		traceID = sc.TraceID
+	}
+	out := t.Injector.AtE(t.Point, traceID)
 	if err := out.Sleep(req.Context()); err != nil {
 		return nil, err
 	}

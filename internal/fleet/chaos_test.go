@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/obs/tracez"
 	"repro/internal/orchestrator"
 )
 
@@ -161,6 +162,12 @@ func runChaosSchedule(t *testing.T, seed int64) {
 	t.Helper()
 	s := buildChaosSchedule(seed)
 	in := s.arm()
+	// Every fire must surface as exactly one flight-recorder event, so a
+	// post-mortem can correlate each lnuca_fault_injected_total increment
+	// to the trace it hit (production wires this in cmd/lnucad the same
+	// way).
+	flight := tracez.NewFlightRecorder(0, 0, 0)
+	in.OnEvent(func(e faultinject.Event) { flight.Event("fault", e.TraceID, string(e.Point)) })
 	t.Logf("chaos %s jobs=%d workers=%d journal=%v (reproduce: CHAOS_SEED=%d)",
 		in.Describe(), len(s.benches), s.workers, s.journal, seed)
 
@@ -274,6 +281,20 @@ func runChaosSchedule(t *testing.T, seed int64) {
 	}
 	if m := orch.Metrics(); m.Degraded {
 		t.Errorf("seed=%d: degraded mode tripped under a bounded schedule (fire caps are wrong)", seed)
+	}
+	var totalFires uint64
+	for p := range s.plans {
+		totalFires += in.Fires(p)
+	}
+	faultEvents := 0
+	for _, e := range flight.Events("") {
+		if e.Kind == "fault" {
+			faultEvents++
+		}
+	}
+	if uint64(faultEvents) != totalFires {
+		t.Errorf("seed=%d: flight recorder holds %d fault events for %d fires — injections must be one-to-one correlatable",
+			seed, faultEvents, totalFires)
 	}
 
 	// Surviving cache entries must be byte-identical to the fault-free

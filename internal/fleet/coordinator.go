@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracez"
 	"repro/internal/orchestrator"
 	"repro/internal/pqueue"
 	"repro/internal/trace"
@@ -37,6 +38,14 @@ type Config struct {
 	Logger *slog.Logger
 	// Registry, when set, exports the lnuca_fleet_* metrics.
 	Registry *obs.Registry
+	// Events, when set, receives lease-lifecycle events (grants,
+	// expiries, requeues, completions) correlated by trace ID in the
+	// flight recorder, next to the spans of the same trace.
+	Events *tracez.FlightRecorder
+	// Spans, when set, ingests the worker-side spans piggybacked on
+	// lease completions (after validation). lnucad points this at the
+	// same recorder chain the orchestrator's tracer writes to.
+	Spans tracez.Recorder
 }
 
 // dispatchResult is what a finished fleet job delivers back to its
@@ -64,6 +73,18 @@ type fleetJob struct {
 	done     chan dispatchResult // buffered 1
 
 	enqueuedAt time.Time
+
+	// traceparent/traceID carry the dispatch span's context: the header
+	// travels to workers on every lease grant, the ID correlates
+	// lease-lifecycle events in the flight recorder. Empty when the
+	// dispatching context carried no trace.
+	traceparent string
+	traceID     string
+	// runStarted tells the orchestrator a worker picked the job up (the
+	// Timeline's queue→run boundary). Called on every lease grant, so a
+	// job requeued after a dead lease restarts its run clock — run
+	// seconds never count a lease nobody executed.
+	runStarted func(worker string)
 }
 
 // lease is one worker's claim on a job.
@@ -231,6 +252,7 @@ func (c *Coordinator) Close() {
 // (the orchestrator's cancel path — the lease protocol then tells the
 // executing worker to abort via its next heartbeat).
 func (c *Coordinator) Dispatch(ctx context.Context, j orchestrator.Job, progress func(done, total uint64)) (*orchestrator.JobResult, error) {
+	span, sctx := tracez.StartSpan(ctx, "lnuca.fleet.dispatch")
 	fj := &fleetJob{
 		key:      j.Key(),
 		priority: j.Priority,
@@ -239,11 +261,18 @@ func (c *Coordinator) Dispatch(ctx context.Context, j orchestrator.Job, progress
 		progress: progress,
 		done:     make(chan dispatchResult, 1),
 		//lnuca:allow(determinism) dispatch latency telemetry; never result content
-		enqueuedAt: time.Now(),
+		enqueuedAt:  time.Now(),
+		traceparent: tracez.Inject(sctx),
+		traceID:     tracez.TraceIDFrom(sctx),
+		// The closure carries the orchestrator's run-started hook (a ctx
+		// value) across the lease protocol without fleet depending on the
+		// orchestrator's internals.
+		runStarted: func(worker string) { orchestrator.RunStarted(sctx, worker) },
 	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		span.Finish()
 		return nil, fmt.Errorf("fleet: coordinator closed")
 	}
 	c.seq++
@@ -256,6 +285,7 @@ func (c *Coordinator) Dispatch(ctx context.Context, j orchestrator.Job, progress
 	select {
 	case r := <-fj.done:
 		c.observeDispatch(fj)
+		c.finishDispatchSpan(span, fj, r.err)
 		return r.res, r.err
 	case <-ctx.Done():
 		c.mu.Lock()
@@ -267,7 +297,28 @@ func (c *Coordinator) Dispatch(ctx context.Context, j orchestrator.Job, progress
 		c.mu.Unlock()
 		c.observeDispatch(fj)
 		c.log.Info("fleet dispatch canceled", "fleet_id", fj.id, "key", fj.key)
+		c.finishDispatchSpan(span, fj, ctx.Err())
 		return nil, ctx.Err()
+	}
+}
+
+// finishDispatchSpan closes the dispatch span with the attempts the job
+// consumed and its outcome.
+func (c *Coordinator) finishDispatchSpan(span *tracez.Span, fj *fleetJob, err error) {
+	c.mu.Lock()
+	attempts := fj.attempt
+	c.mu.Unlock()
+	span.SetAttr("attempts", fmt.Sprintf("%d", attempts))
+	span.SetError(err)
+	span.Finish()
+}
+
+// event records a lease-lifecycle event in the flight recorder, if one
+// is configured. Safe under c.mu: the recorder is a leaf that never
+// calls back into the coordinator.
+func (c *Coordinator) event(kind, traceID, detail string) {
+	if c.cfg.Events != nil {
+		c.cfg.Events.Event(kind, traceID, detail)
 	}
 }
 
@@ -309,14 +360,15 @@ func (c *Coordinator) Lease(worker string) *LeaseResponse {
 	//lnuca:allow(determinism) lease deadlines are wall-clock by nature; never result content
 	now := time.Now()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.workers[worker] = now
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.promoteDueLocked(now)
 	fj, ok := c.pending.Pop()
 	if !ok {
+		c.mu.Unlock()
 		return nil
 	}
 	c.seq++
@@ -334,14 +386,26 @@ func (c *Coordinator) Lease(worker string) *LeaseResponse {
 	}
 	c.log.Info("lease granted", "lease_id", l.id, "fleet_id", fj.id,
 		"key", fj.key, "worker", worker, "attempt", fj.attempt)
-	return &LeaseResponse{
+	resp := &LeaseResponse{
 		LeaseID:          l.id,
 		JobID:            fj.id,
 		Key:              fj.key,
 		Request:          fj.req,
 		Attempt:          fj.attempt,
 		HeartbeatSeconds: c.cfg.LeaseTTL.Seconds(),
+		Traceparent:      fj.traceparent,
 	}
+	runStarted := fj.runStarted
+	traceID := fj.traceID
+	c.mu.Unlock()
+	c.event("lease_granted", traceID,
+		fmt.Sprintf("lease %s worker %s attempt %d", resp.LeaseID, worker, resp.Attempt))
+	// Outside c.mu: the hook takes the orchestrator's lock, and the
+	// orchestrator may call back into the coordinator while holding it.
+	if runStarted != nil {
+		runStarted(worker)
+	}
+	return resp
 }
 
 // Heartbeat extends a lease and forwards progress; ok is false for an
@@ -373,6 +437,10 @@ func (c *Coordinator) Heartbeat(leaseID string, done, total uint64) (cancel, ok 
 // an unknown or expired lease (late completion — answered 410, and the
 // requeued attempt's outcome is the one that counts).
 func (c *Coordinator) Complete(req CompleteRequest) (ok bool) {
+	// Worker spans are ingested even for late or canceled leases: the
+	// execution happened, and its trace is worth keeping regardless of
+	// which attempt's outcome won.
+	c.ingestSpans(req.Spans)
 	c.mu.Lock()
 	l, found := c.leases[req.LeaseID]
 	if !found {
@@ -397,6 +465,8 @@ func (c *Coordinator) Complete(req CompleteRequest) (ok bool) {
 		}
 		c.log.Info("fleet result", "lease_id", l.id, "fleet_id", fj.id,
 			"key", fj.key, "worker", l.worker, "attempt", fj.attempt)
+		c.event("completed", fj.traceID,
+			fmt.Sprintf("lease %s worker %s delivered a result", l.id, l.worker))
 		fj.done <- dispatchResult{res: req.Result}
 		return true
 	}
@@ -414,6 +484,8 @@ func (c *Coordinator) Complete(req CompleteRequest) (ok bool) {
 		}
 		c.log.Info("lease released by draining worker", "lease_id", l.id,
 			"fleet_id", fj.id, "key", fj.key, "worker", l.worker)
+		c.event("lease_released", fj.traceID,
+			fmt.Sprintf("lease %s handed back by draining worker %s", l.id, l.worker))
 		c.mu.Unlock()
 		return true
 	}
@@ -459,6 +531,8 @@ func (c *Coordinator) requeueLocked(fj *fleetJob, reason string, now time.Time) 
 	}
 	c.log.Warn("fleet requeue", "fleet_id", fj.id, "key", fj.key,
 		"attempt", fj.attempt, "backoff_seconds", delay.Seconds(), "reason", reason)
+	c.event("requeued", fj.traceID,
+		fmt.Sprintf("attempt %d: %s (backoff %.2fs)", fj.attempt, reason, delay.Seconds()))
 }
 
 // failJob delivers a terminal failure to the blocked Dispatch.
@@ -468,7 +542,23 @@ func (c *Coordinator) failJob(fj *fleetJob, err error) {
 	}
 	c.log.Warn("fleet job failed", "fleet_id", fj.id, "key", fj.key,
 		"attempts", fj.attempt, "error", err)
+	c.event("failed", fj.traceID, err.Error())
 	fj.done <- dispatchResult{err: err}
+}
+
+// ingestSpans lands worker-shipped spans in the configured recorder,
+// dropping malformed ones. Telemetry never fails a completion.
+func (c *Coordinator) ingestSpans(spans []tracez.Span) {
+	if c.cfg.Spans == nil {
+		return
+	}
+	for _, s := range spans {
+		if err := tracez.ValidSpan(s); err != nil {
+			c.log.Warn("dropping invalid worker span", "name", s.Name, "error", err)
+			continue
+		}
+		c.cfg.Spans.Record(s)
+	}
 }
 
 // backoff is the capped exponential retry delay after the given number
@@ -526,6 +616,8 @@ func (c *Coordinator) expireLeases(now time.Time) {
 		delete(c.leases, l.id)
 		fj := l.job
 		fj.leaseID = ""
+		c.event("lease_expired", fj.traceID,
+			fmt.Sprintf("lease %s on worker %s missed its heartbeat deadline", l.id, l.worker))
 		if fj.canceled {
 			continue
 		}

@@ -13,7 +13,10 @@
 // worker blocks while its job runs on a fleet worker somewhere else.
 package fleet
 
-import "repro/internal/orchestrator"
+import (
+	"repro/internal/obs/tracez"
+	"repro/internal/orchestrator"
+)
 
 // Lease-protocol routes, mounted next to the orchestrator API. Workers
 // are clients of these three POST endpoints plus the trace fetch.
@@ -45,6 +48,10 @@ type LeaseResponse struct {
 	Request          orchestrator.Request `json:"request"`
 	Attempt          int                  `json:"attempt"`
 	HeartbeatSeconds float64              `json:"heartbeat_seconds"`
+	// Traceparent propagates the dispatching job's trace context to the
+	// worker, so the spans it emits while executing join the same trace
+	// as the coordinator's dispatch span. Empty when tracing is off.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // HeartbeatRequest keeps a lease alive and forwards execution progress
@@ -79,4 +86,10 @@ type CompleteRequest struct {
 	Error     string                  `json:"error,omitempty"`
 	Retryable bool                    `json:"retryable,omitempty"`
 	Released  bool                    `json:"released,omitempty"`
+	// Spans are the worker-side spans of this execution (lease wait,
+	// trace fetch, run phases), shipped back piggybacked on the
+	// completion so the coordinator's flight recorder holds the whole
+	// distributed trace. The coordinator validates each span and drops
+	// malformed ones; results are never rejected over telemetry.
+	Spans []tracez.Span `json:"spans,omitempty"`
 }

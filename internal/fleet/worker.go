@@ -9,12 +9,14 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/obs/tracez"
 	"repro/internal/orchestrator"
 	"repro/internal/trace"
 )
@@ -71,6 +73,11 @@ type Worker struct {
 	pollErrors   *obs.Counter
 	traceFetches *obs.Counter
 	busy         *obs.Gauge
+
+	// idleSince marks when this worker last went idle; the next lease's
+	// lnuca.worker.leasewait span stretches from here to the grant.
+	// Touched only by the single Run loop goroutine.
+	idleSince time.Time
 }
 
 // NewWorker builds a worker; call Run to start the pull loop.
@@ -119,6 +126,8 @@ func NewWorker(cfg WorkerConfig) *Worker {
 func (w *Worker) Run(ctx context.Context) error {
 	w.cfg.Logger.Info("fleet worker started", "worker", w.cfg.Name,
 		"coordinator", w.cfg.Coordinator, "poll_interval", w.cfg.PollInterval)
+	//lnuca:allow(determinism) lease-wait span boundary; telemetry only, never result content
+	w.idleSince = time.Now()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -135,6 +144,8 @@ func (w *Worker) Run(ctx context.Context) error {
 			w.sleep(ctx, w.cfg.PollInterval)
 		default:
 			w.execute(ctx, lease)
+			//lnuca:allow(determinism) lease-wait span boundary; telemetry only, never result content
+			w.idleSince = time.Now()
 		}
 	}
 }
@@ -179,11 +190,36 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 		"fleet_id", lease.JobID, "key", lease.Key)
 	log.Info("lease accepted", "attempt", lease.Attempt)
 
+	// Per-lease tracer: the worker's spans join the dispatching job's
+	// trace through the lease's traceparent, collect locally, and ship
+	// back piggybacked on the completion. Without a traceparent the
+	// tracer mints a fresh trace — the spans still reach the
+	// coordinator, just unstitched from a dispatch. rctx derives from
+	// context.Background(), so it carries trace values but no poll-loop
+	// cancellation.
+	col := &tracez.Collector{}
+	tr := tracez.New(col)
+	root, rctx := tr.Start(tracez.Extract(context.Background(), lease.Traceparent), "lnuca.worker.execute")
+	root.SetAttr("worker", w.cfg.Name)
+	root.SetAttr("attempt", strconv.Itoa(lease.Attempt))
+	if !w.idleSince.IsZero() {
+		wait, _ := tracez.StartSpanAt(rctx, "lnuca.worker.leasewait", w.idleSince)
+		wait.Finish()
+	}
+	finish := func(req CompleteRequest) {
+		if req.Error != "" {
+			root.SetError(errors.New(req.Error))
+		}
+		root.Finish()
+		req.Spans = col.Drain()
+		w.complete(rctx, log, lease, req)
+	}
+
 	job, err := lease.Request.Job()
 	if err != nil {
 		// The coordinator's request schema no longer parses here:
 		// deterministic, no point retrying on another worker.
-		w.complete(log, lease, CompleteRequest{
+		finish(CompleteRequest{
 			LeaseID: lease.LeaseID,
 			Error:   fmt.Sprintf("worker rejects request: %v", err),
 		})
@@ -193,18 +229,22 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 		// A key mismatch means coordinator and worker normalize the same
 		// request differently (version skew). Executing would publish
 		// under the wrong identity — refuse, terminally.
-		w.complete(log, lease, CompleteRequest{
+		finish(CompleteRequest{
 			LeaseID: lease.LeaseID,
 			Error:   fmt.Sprintf("content key mismatch: coordinator %s, worker %s — version skew?", lease.Key, got),
 		})
 		return
 	}
 	if job.Trace != "" && !w.cfg.Traces.Has(job.Trace) {
-		if err := w.fetchTrace(ctx, job.Trace); err != nil {
+		fs, fctx := tracez.StartSpan(rctx, "lnuca.worker.tracefetch")
+		err := w.fetchTrace(tracez.WithSpanContext(ctx, tracez.FromContext(fctx)), job.Trace)
+		fs.SetError(err)
+		fs.Finish()
+		if err != nil {
 			// Infrastructure: the trace exists on the coordinator (it
 			// validated the submission); the fetch failing here is
 			// transient and worth another attempt.
-			w.complete(log, lease, CompleteRequest{
+			finish(CompleteRequest{
 				LeaseID:   lease.LeaseID,
 				Error:     fmt.Sprintf("trace fetch: %v", err),
 				Retryable: true,
@@ -214,11 +254,13 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 	}
 
 	// The run and its heartbeats live on a context detached from the
-	// poll-loop ctx, so a worker shutdown drains instead of severing the
-	// job mid-flight: the watcher below gives the run DrainGrace to
-	// finish (heartbeats keep flowing), then cancels it, and the lease
-	// is explicitly released back to the coordinator either way.
-	runCtx, cancelRun := context.WithCancel(context.Background())
+	// poll-loop ctx (rctx has no cancellation), so a worker shutdown
+	// drains instead of severing the job mid-flight: the watcher below
+	// gives the run DrainGrace to finish (heartbeats keep flowing), then
+	// cancels it, and the lease is explicitly released back to the
+	// coordinator either way. The run inherits the lease's tracer, so
+	// the simulator's phase spans land in this trace too.
+	runCtx, cancelRun := context.WithCancel(rctx)
 	defer cancelRun()
 	var draining bool
 	execDone := make(chan struct{})
@@ -290,7 +332,7 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 		// any worker. Terminal.
 		req.Error = runErr.Error()
 	}
-	w.complete(log, lease, req)
+	finish(req)
 }
 
 // heartbeatLoop keeps the lease alive at a third of its TTL, forwarding
@@ -340,12 +382,13 @@ func (w *Worker) heartbeatLoop(ctx context.Context, cancelRun context.CancelFunc
 // minutes-long simulation is worth more than one TCP handshake. A 410
 // means the lease moved on without us — nothing left to do.
 //
-// Delivery runs on its own context, detached from the poll loop: a
-// worker shutting down must still be able to hand its lease back (or
-// deliver a finished result) — a canceled ctx here is exactly how
-// leases used to zombie until the reaper.
-func (w *Worker) complete(log *slog.Logger, lease *LeaseResponse, req CompleteRequest) {
-	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+// Delivery is detached from the poll loop: ctx is the lease's trace
+// context (values only, rooted in context.Background()), so a worker
+// shutting down can still hand its lease back (or deliver a finished
+// result) — a canceled ctx here is exactly how leases used to zombie
+// until the reaper.
+func (w *Worker) complete(ctx context.Context, log *slog.Logger, lease *LeaseResponse, req CompleteRequest) {
+	ctx, cancel := context.WithTimeout(ctx, 15*time.Second)
 	defer cancel()
 	if w.jobs != nil {
 		w.jobs.Inc()
@@ -383,6 +426,9 @@ func (w *Worker) fetchTrace(ctx context.Context, id string) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.cfg.Coordinator+PathTraces+id, nil)
 	if err != nil {
 		return err
+	}
+	if h := tracez.Inject(ctx); h != "" {
+		req.Header.Set(tracez.HeaderName, h)
 	}
 	resp, err := w.cfg.Client.Do(req)
 	if err != nil {
@@ -423,6 +469,11 @@ func (w *Worker) post(ctx context.Context, path string, body, out interface{}) (
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the lease's trace on heartbeats and completions, so an
+	// injected worker_http fault is attributed to the affected trace.
+	if h := tracez.Inject(ctx); h != "" {
+		req.Header.Set(tracez.HeaderName, h)
+	}
 	resp, err := w.cfg.Client.Do(req)
 	if err != nil {
 		return 0, err

@@ -198,7 +198,7 @@ var stdExports struct {
 // dependencies in automatically.
 var testdataStdlib = []string{
 	"fmt", "sort", "strings", "time", "math/rand", "strconv", "errors",
-	"os", "encoding/json", "crypto/sha256", "encoding/hex",
+	"os", "encoding/json", "crypto/sha256", "encoding/hex", "context",
 }
 
 func loadStdExports() (map[string]string, error) {

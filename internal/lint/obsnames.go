@@ -20,10 +20,22 @@ import (
 //   - label names are literal snake_case, at most 4 per metric, and
 //     never one of the unbounded-cardinality names (id, key, path,
 //     url, ... — use a normalizer like orchestrator.RouteLabel).
+//
+// The same contract extends to the tracing layer's span taxonomy at
+// every internal/obs/tracez call site:
+//
+//   - span names (Tracer.Start/StartAt, tracez.StartSpan/StartSpanAt)
+//     must be compile-time constants matching lnuca(.segment)+ dotted
+//     lowercase, so the taxonomy in DESIGN.md stays greppable and the
+//     lnuca_spans_recorded_total{name} label set stays bounded,
+//   - Span.SetAttr keys are literal snake_case and never one of the
+//     unbounded-cardinality names — a job ID or content key in an attr
+//     key would defeat the recorder's aggregation exactly like a
+//     metric label would.
 func ObsNames() *Analyzer {
 	return &Analyzer{
 		Name: "obsnames",
-		Doc:  "enforce lnuca_* snake_case metric names and label-cardinality rules at obs registry call sites",
+		Doc:  "enforce lnuca_* metric names, lnuca. span names, and label/attr cardinality rules at obs and tracez call sites",
 		Run:  runObsNames,
 	}
 }
@@ -43,8 +55,16 @@ var obsRegistryMethods = map[string]struct {
 	"HistogramVec": {"histogram", 3},
 }
 
+// spanStartFuncs are the tracez entry points whose second argument is a
+// span name (methods on *tracez.Tracer and the ambient-context package
+// functions share the (ctx, name, ...) shape).
+var spanStartFuncs = map[string]bool{
+	"Start": true, "StartAt": true, "StartSpan": true, "StartSpanAt": true,
+}
+
 var metricNameRe = regexp.MustCompile(`^lnuca(_[a-z0-9]+)+$`)
 var labelNameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+var spanNameRe = regexp.MustCompile(`^lnuca(\.[a-z0-9_]+)+$`)
 
 // histogramUnits are accepted terminal suffixes for histogram names.
 var histogramUnits = []string{"_seconds", "_bytes", "_cycles", "_ops", "_total", "_mips", "_ratio"}
@@ -63,6 +83,10 @@ var highCardinalityLabels = map[string]bool{
 const maxMetricLabels = 4
 
 func runObsNames(pass *Pass) error {
+	// tracez's own trampolines (Start → StartAt, StartSpan → Start)
+	// forward a caller-supplied name variable; the rule applies at the
+	// instrumentation sites, not inside the tracing package itself.
+	inTracez := isTracezPath(pass.Pkg.Path())
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -71,6 +95,14 @@ func runObsNames(pass *Pass) error {
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
 			if !ok {
+				return true
+			}
+			if spanStartFuncs[sel.Sel.Name] && !inTracez && isTracezFunc(pass, sel) && len(call.Args) >= 2 {
+				checkSpanName(pass, call.Args[1])
+				return true
+			}
+			if sel.Sel.Name == "SetAttr" && !inTracez && isTracezFunc(pass, sel) && len(call.Args) >= 1 {
+				checkSpanAttrKey(pass, call.Args[0])
 				return true
 			}
 			spec, ok := obsRegistryMethods[sel.Sel.Name]
@@ -101,6 +133,50 @@ func isObsRegistryMethod(pass *Pass, sel *ast.SelectorExpr) bool {
 	}
 	path := fn.Pkg().Path()
 	return strings.HasSuffix(path, "internal/obs") || path == "obs"
+}
+
+// isTracezFunc reports whether the selector resolves to a function or
+// method of the tracing package (import path suffix
+// "internal/obs/tracez", or a package simply named tracez in golden
+// tests).
+func isTracezFunc(pass *Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return isTracezPath(fn.Pkg().Path())
+}
+
+// isTracezPath matches the tracing package by import path (or bare
+// "tracez" for the golden-test stand-in).
+func isTracezPath(path string) bool {
+	return strings.HasSuffix(path, "internal/obs/tracez") || path == "tracez"
+}
+
+func checkSpanName(pass *Pass, arg ast.Expr) {
+	name, ok := constString(pass, arg)
+	if !ok {
+		pass.Report(arg.Pos(), "span name must be a compile-time string constant so the taxonomy is greppable")
+		return
+	}
+	if !spanNameRe.MatchString(name) {
+		pass.Report(arg.Pos(), "span name %q must be lnuca.-prefixed dotted lowercase (lnuca(.[a-z0-9_]+)+)", name)
+	}
+}
+
+func checkSpanAttrKey(pass *Pass, arg ast.Expr) {
+	key, ok := constString(pass, arg)
+	if !ok {
+		pass.Report(arg.Pos(), "span attribute key must be a compile-time string constant")
+		return
+	}
+	if !labelNameRe.MatchString(key) {
+		pass.Report(arg.Pos(), "span attribute key %q must be lower snake_case", key)
+		return
+	}
+	if highCardinalityLabels[key] {
+		pass.Report(arg.Pos(), "span attribute key %q is unbounded-cardinality; the flight recorder already correlates spans by trace ID — drop the attr or rename it", key)
+	}
 }
 
 // constString resolves an argument to its compile-time string value.

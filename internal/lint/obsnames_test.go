@@ -5,3 +5,7 @@ import "testing"
 func TestObsNamesGolden(t *testing.T) {
 	RunGolden(t, "obsnames", ObsNames())
 }
+
+func TestSpanNamesGolden(t *testing.T) {
+	RunGolden(t, "spannames", ObsNames())
+}

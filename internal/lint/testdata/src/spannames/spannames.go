@@ -1,0 +1,35 @@
+// Package spannames exercises the obsnames analyzer's span-name and
+// span-attribute rules against the tracez stand-in.
+package spannames
+
+import (
+	"context"
+	"time"
+	"tracez"
+)
+
+var dynamicName = "lnuca.orch.run"
+
+func spans(tr *tracez.Tracer, ctx context.Context) {
+	// Compliant call sites: no findings.
+	s, ctx := tr.Start(ctx, "lnuca.orch.submit")
+	s.SetAttr("benchmark", "403.gcc")
+	s.SetAttr("worker", "w1")
+	s2, _ := tr.StartAt(ctx, "lnuca.worker.leasewait", time.Time{})
+	s2.Finish()
+	s3, _ := tracez.StartSpan(ctx, "lnuca.run.measure")
+	s3.Finish()
+	s4, _ := tracez.StartSpanAt(ctx, "lnuca.run.build", time.Time{})
+	s4.Finish()
+
+	tr.Start(ctx, "orch.submit")                           // want `span name "orch.submit" must be lnuca.-prefixed dotted lowercase`
+	tr.Start(ctx, "lnuca")                                 // want `span name "lnuca" must be lnuca.-prefixed dotted lowercase`
+	tr.Start(ctx, dynamicName)                             // want `span name must be a compile-time string constant`
+	tracez.StartSpan(ctx, "lnuca.Orch.X")                  // want `must be lnuca.-prefixed dotted lowercase`
+	tracez.StartSpanAt(ctx, "lnuca_orch_run", time.Time{}) // want `must be lnuca.-prefixed dotted lowercase`
+
+	s.SetAttr("job_id", "job-000001") // want `span attribute key "job_id" is unbounded-cardinality`
+	s.SetAttr("trace_id", "abc")      // want `span attribute key "trace_id" is unbounded-cardinality`
+	s.SetAttr("Status", "ok")         // want `span attribute key "Status" must be lower snake_case`
+	s.SetAttr(dynamicName, "v")       // want `span attribute key must be a compile-time string constant`
+}

@@ -1,0 +1,34 @@
+// Package tracez is a minimal stand-in for repro/internal/obs/tracez
+// so the spannames golden package can call span entry points with the
+// real signatures. The analyzer matches it by package path ("tracez").
+package tracez
+
+import (
+	"context"
+	"time"
+)
+
+type Span struct{}
+
+func (s *Span) SetAttr(key, value string) {}
+func (s *Span) Finish()                   {}
+
+type Tracer struct{}
+
+func New() *Tracer { return &Tracer{} }
+
+func (t *Tracer) Start(ctx context.Context, name string) (*Span, context.Context) {
+	return &Span{}, ctx
+}
+
+func (t *Tracer) StartAt(ctx context.Context, name string, at time.Time) (*Span, context.Context) {
+	return &Span{}, ctx
+}
+
+func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
+	return &Span{}, ctx
+}
+
+func StartSpanAt(ctx context.Context, name string, at time.Time) (*Span, context.Context) {
+	return &Span{}, ctx
+}

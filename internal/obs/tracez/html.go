@@ -1,0 +1,116 @@
+package tracez
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Handler serves the /debug/tracez HTML summary: an index of retained
+// traces, and — with ?trace=<id> — one trace rendered as an indented
+// span tree with durations, statuses and correlated events. It is a
+// debugging surface in the /debug/pprof spirit: plain, dependency-free
+// HTML meant for a human mid-incident, not an API (the JSON span
+// endpoint is the API).
+func (fr *FlightRecorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if id := r.URL.Query().Get("trace"); id != "" {
+			fr.writeTraceHTML(w, id)
+			return
+		}
+		fr.writeIndexHTML(w)
+	})
+}
+
+func (fr *FlightRecorder) writeIndexHTML(w http.ResponseWriter) {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><title>tracez</title>")
+	b.WriteString("<style>body{font-family:monospace}table{border-collapse:collapse}td,th{border:1px solid #ccc;padding:2px 8px;text-align:left}</style>")
+	b.WriteString("</head><body><h1>tracez — recent traces</h1>")
+	sums := fr.Traces()
+	fmt.Fprintf(&b, "<p>%d traces retained · %.0f spans dropped · %.0f traces evicted</p>",
+		len(sums), fr.DroppedSpans(), fr.EvictedTraces())
+	b.WriteString("<table><tr><th>trace</th><th>root</th><th>spans</th><th>errors</th><th>last seen</th></tr>")
+	for _, ts := range sums {
+		fmt.Fprintf(&b, "<tr><td><a href=\"?trace=%s\">%s</a></td><td>%s</td><td>%d</td><td>%d</td><td>%s</td></tr>",
+			html.EscapeString(ts.TraceID), html.EscapeString(ts.TraceID),
+			html.EscapeString(ts.Root), ts.Spans, ts.Errors,
+			html.EscapeString(ts.LastSeen.Format(time.RFC3339)))
+	}
+	b.WriteString("</table></body></html>")
+	w.Write([]byte(b.String()))
+}
+
+func (fr *FlightRecorder) writeTraceHTML(w http.ResponseWriter, traceID string) {
+	spans := fr.Spans(traceID)
+	events := fr.Events(traceID)
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><title>tracez</title>")
+	b.WriteString("<style>body{font-family:monospace}.err{color:#b00}.attrs{color:#666}</style>")
+	b.WriteString("</head><body>")
+	fmt.Fprintf(&b, "<h1>trace %s</h1><p><a href=\"?\">&larr; all traces</a></p>", html.EscapeString(traceID))
+	if len(spans) == 0 {
+		b.WriteString("<p>no spans retained for this trace (unknown, or evicted from the flight recorder)</p>")
+	}
+	// Indent children under parents; orphans (parent not retained) list
+	// at top level so nothing is hidden.
+	children := make(map[string][]int)
+	byID := make(map[string]bool, len(spans))
+	for i := range spans {
+		byID[spans[i].SpanID] = true
+	}
+	var roots []int
+	for i := range spans {
+		if spans[i].Parent != "" && byID[spans[i].Parent] {
+			children[spans[i].Parent] = append(children[spans[i].Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	b.WriteString("<pre>")
+	var walk func(idx, depth int)
+	walk = func(idx, depth int) {
+		s := &spans[idx]
+		cls := ""
+		if s.Status == "error" {
+			cls = " class=\"err\""
+		}
+		dur := s.End.Sub(s.Start)
+		fmt.Fprintf(&b, "%s<span%s>%-28s</span> %12s", strings.Repeat("  ", depth), cls,
+			html.EscapeString(s.Name), dur.Round(time.Microsecond))
+		if len(s.Attrs) > 0 {
+			parts := make([]string, 0, len(s.Attrs))
+			for _, a := range s.Attrs {
+				parts = append(parts, a.Key+"="+a.Value)
+			}
+			fmt.Fprintf(&b, "  <span class=\"attrs\">%s</span>", html.EscapeString(strings.Join(parts, " ")))
+		}
+		if s.Note != "" {
+			fmt.Fprintf(&b, "  <span class=\"err\">%s</span>", html.EscapeString(s.Note))
+		}
+		b.WriteString("\n")
+		kids := children[s.SpanID]
+		sort.Slice(kids, func(a, c int) bool { return spans[kids[a]].Start.Before(spans[kids[c]].Start) })
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	b.WriteString("</pre>")
+	if len(events) > 0 {
+		b.WriteString("<h2>events</h2><pre>")
+		for _, e := range events {
+			fmt.Fprintf(&b, "%s  %-14s %s\n", html.EscapeString(e.Time.Format(time.RFC3339Nano)),
+				html.EscapeString(e.Kind), html.EscapeString(e.Detail))
+		}
+		b.WriteString("</pre>")
+	}
+	b.WriteString("</body></html>")
+	w.Write([]byte(b.String()))
+}

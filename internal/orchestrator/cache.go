@@ -2,6 +2,7 @@ package orchestrator
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/atomicfile"
 	"repro/internal/faultinject"
+	"repro/internal/obs/tracez"
 )
 
 // tmpOrphanGrace is how old a stray temp file in the cache directory
@@ -134,6 +136,14 @@ func (c *Cache) Get(key string) (*JobResult, bool) {
 // executions of the same job — breaking the determinism contract that
 // identical jobs have identical cache files.
 func (c *Cache) Put(key string, res *JobResult) {
+	c.PutCtx(context.Background(), key, res)
+}
+
+// PutCtx is Put with the submitting request's context, so an injected
+// persist failure is attributed to the job's trace in the fault-event
+// stream. The trace context influences telemetry only — the stored
+// bytes are identical with and without it.
+func (c *Cache) PutCtx(ctx context.Context, key string, res *JobResult) {
 	if res != nil && res.Phases != nil {
 		cp := *res
 		cp.Phases = nil
@@ -141,7 +151,7 @@ func (c *Cache) Put(key string, res *JobResult) {
 	}
 	c.install(key, res)
 	if c.dir != "" {
-		if err := c.save(key, res); err != nil {
+		if err := c.save(key, res, tracez.TraceIDFrom(ctx)); err != nil {
 			// The store is an optimization; a failed write only costs a
 			// recomputation in a future process. But consecutive failures
 			// are a sick disk, and feed Degraded.
@@ -238,7 +248,7 @@ func (c *Cache) discardCorrupt(path string, cause error) {
 	}
 }
 
-func (c *Cache) save(key string, res *JobResult) error {
+func (c *Cache) save(key string, res *JobResult, traceID string) error {
 	data, err := json.Marshal(res)
 	if err != nil {
 		return err
@@ -250,7 +260,8 @@ func (c *Cache) save(key string, res *JobResult) error {
 	// Identical content makes the race benign — last rename wins with the
 	// same bytes.
 	return atomicfile.Write(c.path(key), data, atomicfile.Options{
-		Faults: c.faults.Load(),
-		Point:  faultinject.PointCacheWrite,
+		Faults:  c.faults.Load(),
+		Point:   faultinject.PointCacheWrite,
+		TraceID: traceID,
 	})
 }

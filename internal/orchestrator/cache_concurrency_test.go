@@ -28,7 +28,7 @@ func TestCacheConcurrentWritersSameKey(t *testing.T) {
 			c := NewCache(0, dir)
 			for k := 0; k < keys; k++ {
 				key := strings.Repeat("k", 8) + string(rune('a'+k))
-				if err := c.save(key, res); err != nil {
+				if err := c.save(key, res, ""); err != nil {
 					errCh <- err
 				}
 			}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/hier"
 	"repro/internal/obs"
+	"repro/internal/obs/tracez"
 	"repro/internal/pqueue"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -69,6 +70,13 @@ type JobRecord struct {
 	// Timeline records the submitted -> queued -> running -> terminal
 	// lifecycle with durations.
 	Timeline Timeline `json:"timeline"`
+	// TraceID is the distributed trace this job's spans record under
+	// (empty when tracing is off) — the handle for GET
+	// /v1/traces/{jobid}/spans and /debug/tracez.
+	TraceID string `json:"trace_id,omitempty"`
+	// Worker names the fleet worker that executed (or is executing) the
+	// job; empty for local pool runs and never-run jobs.
+	Worker string `json:"worker,omitempty"`
 }
 
 // RunFunc executes one normalized job. The orchestrator cancels ctx to
@@ -87,7 +95,33 @@ func SimRun(ctx context.Context, j Job, progress func(done, total uint64)) (*Job
 	if r.Err != nil {
 		return nil, r.Err
 	}
-	return ResultOf(r), nil
+	res := ResultOf(r)
+	emitPhaseSpans(ctx, res.Phases)
+	return res, nil
+}
+
+// emitPhaseSpans reconstructs the run's build/warmup/measure phases as
+// spans ending now, from the durations the exp harness measured. The
+// tracer is consulted strictly AFTER the run — the kernel hot loop
+// never sees a span — and the reconstructed spans are children of
+// whatever span ctx carries (the local run span, or a fleet worker's
+// execute span).
+func emitPhaseSpans(ctx context.Context, ph *exp.Phases) {
+	if ph == nil || tracez.TracerFrom(ctx) == nil {
+		return
+	}
+	//lnuca:allow(determinism) span timestamps reconstructed from measured phase durations; telemetry only, never in result content or keys
+	end := time.Now()
+	secs := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	mStart := end.Add(-secs(ph.MeasureSeconds))
+	wStart := mStart.Add(-secs(ph.WarmupSeconds))
+	bStart := wStart.Add(-secs(ph.BuildSeconds))
+	b, _ := tracez.StartSpanAt(ctx, "lnuca.run.build", bStart)
+	b.FinishAt(wStart)
+	w, _ := tracez.StartSpanAt(ctx, "lnuca.run.warmup", wStart)
+	w.FinishAt(mStart)
+	m, _ := tracez.StartSpanAt(ctx, "lnuca.run.measure", mStart)
+	m.FinishAt(end)
 }
 
 // SimRunWith is SimRunWithTraces without a trace store: trace jobs fail
@@ -148,7 +182,7 @@ func SimRunWithTraces(cache *Cache, traces *trace.Store) RunFunc {
 
 			res, err := SimRun(ctx, single, progress)
 			if err == nil {
-				cache.Put(key, res)
+				cache.PutCtx(ctx, key, res)
 			}
 			mu.Lock()
 			delete(inflight, key)
@@ -174,7 +208,9 @@ func SimRunWithTraces(cache *Cache, traces *trace.Store) RunFunc {
 			if r.Err != nil {
 				return nil, r.Err
 			}
-			return ResultOf(r), nil
+			res := ResultOf(r)
+			emitPhaseSpans(ctx, res.Phases)
+			return res, nil
 		}
 		if !j.IsMix() {
 			return SimRun(ctx, j, progress)
@@ -224,7 +260,9 @@ func SimRunWithTraces(cache *Cache, traces *trace.Store) RunFunc {
 		if err != nil {
 			return nil, err
 		}
-		return MixResultOf(r, ws), nil
+		res := MixResultOf(r, ws)
+		emitPhaseSpans(ctx, res.Phases)
+		return res, nil
 	}
 }
 
@@ -264,6 +302,17 @@ type Config struct {
 	// died (see Journal). The orchestrator appends to it; the owner
 	// replays Pending() after construction and closes it on shutdown.
 	Journal *Journal
+	// Tracer, when set, opens spans for every submission's lifecycle
+	// (submit/coalesce/cache-hit, then queue and run for jobs that
+	// simulate) and threads the trace context into the RunFunc, so fleet
+	// dispatch and worker execution parent under the job's trace. Nil
+	// disables tracing at zero cost.
+	Tracer *tracez.Tracer
+	// Flight, when set, is the bounded in-memory store behind GET
+	// /v1/traces/{jobid}/spans and /debug/tracez. It also receives
+	// trace-correlated lifecycle events (coalesced submissions). Usually
+	// the Tracer's recorder tees into it.
+	Flight *tracez.FlightRecorder
 }
 
 // task is the internal mutable state behind a JobRecord.
@@ -281,10 +330,23 @@ type task struct {
 	heapIdx  int // -1 when not queued
 
 	// Lifecycle timestamps; startedAt/finishedAt are zero until the
-	// transition happens.
+	// transition happens. For fleet-dispatched jobs startedAt is reset
+	// at every lease grant (see RunStarted), so RunSeconds measures the
+	// lease that actually produced the result, not dead leases.
 	submittedAt time.Time
 	startedAt   time.Time
 	finishedAt  time.Time
+
+	// Tracing state (all nil/empty when tracing is off). jobSpan is the
+	// job's root span, open from submission to terminal; queueSpan and
+	// runSpan bound the two lifecycle phases. worker is the fleet worker
+	// executing the current lease, reported by RunStarted. All span
+	// mutations happen under the orchestrator's mu.
+	traceID   string
+	jobSpan   *tracez.Span
+	queueSpan *tracez.Span
+	runSpan   *tracez.Span
+	worker    string
 
 	progDone, progTotal atomic.Uint64
 }
@@ -530,10 +592,28 @@ func (o *Orchestrator) probeDegraded() {
 // balances: every accepted submission is exactly one of coalesced,
 // cached, queued (still in the queue), running, or terminal.
 func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
+	return o.SubmitCtx(context.Background(), j)
+}
+
+// SubmitCtx is Submit carrying the caller's trace context: when the
+// orchestrator has a Tracer, the submission's spans parent under ctx's
+// span context (a client span, or just its trace ID), so the whole
+// client→coordinator→worker story shares one trace. With no Tracer
+// configured the context is ignored and SubmitCtx is exactly Submit.
+func (o *Orchestrator) SubmitCtx(ctx context.Context, j Job) (JobRecord, error) {
 	nj, err := j.Normalize()
 	if err != nil {
 		return JobRecord{}, err
 	}
+	span, sctx := o.cfg.Tracer.Start(ctx, "lnuca.orch.submit")
+	rec, err := o.submit(sctx, nj)
+	span.SetError(err)
+	span.Finish()
+	return rec, err
+}
+
+// submit accepts a pre-normalized job; ctx carries the submit span.
+func (o *Orchestrator) submit(ctx context.Context, nj Job) (JobRecord, error) {
 	key := nj.Key()
 
 	o.mu.Lock()
@@ -550,6 +630,7 @@ func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
 		rec := o.snapshot(live)
 		rec.Coalesced = true
 		o.mu.Unlock()
+		o.traceCoalesced(ctx, live.traceID, rec.ID)
 		o.log.Debug("job coalesced", "job_id", rec.ID, "key", key)
 		return rec, nil
 	}
@@ -568,6 +649,7 @@ func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
 		t.status = StatusDone
 		t.cached = true
 		t.result = res
+		t.traceID = tracez.TraceIDFrom(ctx)
 		//lnuca:allow(determinism) job lifecycle timestamp; telemetry only, never in result content or keys
 		now := time.Now()
 		t.submittedAt = now
@@ -577,6 +659,8 @@ func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
 		rec := o.snapshot(t)
 		o.markTerminalLocked(t)
 		o.mu.Unlock()
+		hit, _ := tracez.StartSpan(ctx, "lnuca.orch.cachehit")
+		hit.Finish()
 		// Balance a possibly replayed journal entry for this key: a
 		// pending submission resubmitted after a restart may now be a
 		// cache hit, and without an end event it would stay pending in
@@ -609,6 +693,7 @@ func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
 		rec := o.snapshot(live)
 		rec.Coalesced = true
 		o.mu.Unlock()
+		o.traceCoalesced(ctx, live.traceID, rec.ID)
 		o.log.Debug("job coalesced", "job_id", rec.ID, "key", key)
 		return rec, nil
 	}
@@ -634,6 +719,18 @@ func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
 	t.status = StatusQueued
 	//lnuca:allow(determinism) job lifecycle timestamp; telemetry only, never in result content or keys
 	t.submittedAt = time.Now()
+	// The job root span opens here and closes at the terminal
+	// transition; queue and (later) run are its children. Children may
+	// outlive the submit span that parents the root — that is normal
+	// span semantics, not a leak.
+	jobSpan, jctx := tracez.StartSpanAt(ctx, "lnuca.orch.job", t.submittedAt)
+	if nj.Benchmark != "" {
+		jobSpan.SetAttr("benchmark", nj.Benchmark)
+	}
+	jobSpan.SetAttr("hierarchy", nj.Hierarchy)
+	t.jobSpan = jobSpan
+	t.queueSpan, _ = tracez.StartSpanAt(jctx, "lnuca.orch.queue", t.submittedAt)
+	t.traceID = tracez.TraceIDFrom(jctx)
 	o.byKey[key] = t
 	o.queue.Push(t)
 	o.cond.Signal()
@@ -644,6 +741,70 @@ func (o *Orchestrator) Submit(j Job) (JobRecord, error) {
 	}
 	o.log.Info("job submitted", "job_id", rec.ID, "key", key, "priority", nj.Priority)
 	return rec, nil
+}
+
+// traceCoalesced records a coalesced submission in both places it is
+// visible: an instant span on the SUBMITTER's trace (its story ends
+// with "merged onto jobID") and an event on the WINNER's trace (other
+// submissions piled onto it).
+func (o *Orchestrator) traceCoalesced(ctx context.Context, winnerTraceID, jobID string) {
+	cs, _ := tracez.StartSpan(ctx, "lnuca.orch.coalesce")
+	cs.Finish()
+	if winnerTraceID != "" {
+		o.cfg.Flight.Event("coalesced", winnerTraceID, "submission "+tracez.TraceIDFrom(ctx)+" merged onto "+jobID)
+	}
+}
+
+// runStartedKey carries the per-task run-(re)start callback through the
+// RunFunc's context.
+type runStartedKey struct{}
+
+// RunStarted notifies the orchestrator that execution of the job behind
+// ctx actually (re)started on the named worker. Fleet coordinators call
+// it at every lease grant, so a dispatched job's Timeline splits queue
+// vs run time at the moment a worker began executing — not when the
+// dispatch was enqueued — and a job requeued after a lease expiry
+// counts its dead first lease as queue time, never run time. No-op for
+// contexts without the hook (local pool runs, tests, stub RunFuncs).
+func RunStarted(ctx context.Context, worker string) {
+	if fn, ok := ctx.Value(runStartedKey{}).(func(string)); ok {
+		fn(worker)
+	}
+}
+
+// withRunStarted arms RunStarted for one task's run context.
+func (o *Orchestrator) withRunStarted(ctx context.Context, t *task) context.Context {
+	return context.WithValue(ctx, runStartedKey{}, func(worker string) {
+		//lnuca:allow(determinism) job lifecycle timestamp; telemetry only, never in result content or keys
+		now := time.Now()
+		o.mu.Lock()
+		if t.status == StatusRunning {
+			t.startedAt = now
+			t.worker = worker
+		}
+		o.mu.Unlock()
+	})
+}
+
+// Flight returns the flight recorder behind the span endpoints, or nil
+// when tracing is off.
+func (o *Orchestrator) Flight() *tracez.FlightRecorder { return o.cfg.Flight }
+
+// SpanRecorder returns the sink remotely produced spans (client submit
+// spans via POST /v1/spans) should land in — the same recorder local
+// spans use — or nil when tracing is off.
+func (o *Orchestrator) SpanRecorder() tracez.Recorder { return o.cfg.Tracer.Recorder() }
+
+// TraceIDOf maps a job ID to its trace ID ("" when unknown or traced
+// out of retention).
+func (o *Orchestrator) TraceIDOf(jobID string) (string, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	t, ok := o.records[jobID]
+	if !ok {
+		return "", false
+	}
+	return t.traceID, true
 }
 
 func (o *Orchestrator) newTaskLocked(j Job, key string) *task {
@@ -737,6 +898,9 @@ func (o *Orchestrator) Cancel(id string) (JobRecord, bool) {
 		//lnuca:allow(determinism) job lifecycle timestamp; telemetry only, never in result content or keys
 		t.finishedAt = time.Now()
 		o.canceled++
+		t.queueSpan.FinishAt(t.finishedAt)
+		t.jobSpan.SetAttr("status", string(StatusCanceled))
+		t.jobSpan.FinishAt(t.finishedAt)
 		o.markTerminalLocked(t)
 		// An explicit cancel is journaled (unlike the implicit ones during
 		// Close): the user asked for the job not to run, so a restart must
@@ -927,6 +1091,9 @@ func (o *Orchestrator) Close() {
 			delete(o.byKey, t.key)
 		}
 		o.canceled++
+		t.queueSpan.FinishAt(t.finishedAt)
+		t.jobSpan.SetAttr("status", string(StatusCanceled))
+		t.jobSpan.FinishAt(t.finishedAt)
 		o.markTerminalLocked(t)
 	}
 	//lnuca:allow(determinism) cancellation order is unobservable; every remaining task is canceled regardless of order
@@ -958,7 +1125,16 @@ func (o *Orchestrator) worker() {
 		//lnuca:allow(determinism) job lifecycle timestamp; telemetry only, never in result content or keys
 		t.startedAt = time.Now()
 		queued := t.startedAt.Sub(t.submittedAt)
-		ctx, cancel := context.WithCancel(context.Background())
+		t.queueSpan.FinishAt(t.startedAt)
+		// The run context carries the tracer and the job span's identity,
+		// so everything the RunFunc does — local phase spans, or a fleet
+		// dispatch whose worker spans come back on complete — parents
+		// under this job's trace; it also carries the RunStarted hook.
+		base := tracez.WithTracer(context.Background(), o.cfg.Tracer)
+		base = tracez.WithSpanContext(base, t.jobSpan.Context())
+		runSpan, base := tracez.StartSpanAt(base, "lnuca.orch.run", t.startedAt)
+		t.runSpan = runSpan
+		ctx, cancel := context.WithCancel(o.withRunStarted(base, t))
 		t.cancel = cancel
 		o.mu.Unlock()
 
@@ -976,9 +1152,11 @@ func (o *Orchestrator) worker() {
 
 		// Publish the result before releasing the singleflight entry:
 		// otherwise an identical submission landing in between would
-		// neither coalesce nor hit the cache, and re-simulate.
+		// neither coalesce nor hit the cache, and re-simulate. The run
+		// context (canceled, but its values intact) attributes injected
+		// persist faults to this job's trace.
 		if err == nil {
-			o.cache.Put(t.key, res)
+			o.cache.PutCtx(ctx, t.key, res)
 		}
 		o.mu.Lock()
 		// A cancel-then-resubmit may have replaced this key's live task;
@@ -1005,6 +1183,15 @@ func (o *Orchestrator) worker() {
 		}
 		status := t.status
 		closing := o.closed
+		if t.worker != "" {
+			t.runSpan.SetAttr("worker", t.worker)
+		}
+		t.runSpan.SetAttr("status", string(status))
+		t.runSpan.SetError(err)
+		t.runSpan.FinishAt(t.finishedAt)
+		t.jobSpan.SetAttr("status", string(status))
+		t.jobSpan.SetError(err)
+		t.jobSpan.FinishAt(t.finishedAt)
 		o.markTerminalLocked(t)
 		o.mu.Unlock()
 
@@ -1067,6 +1254,8 @@ func (o *Orchestrator) snapshot(t *task) JobRecord {
 		Cached:   t.cached,
 		Error:    t.errMsg,
 		Timeline: t.timeline(),
+		TraceID:  t.traceID,
+		Worker:   t.worker,
 	}
 	if total := t.progTotal.Load(); total > 0 {
 		p := float64(t.progDone.Load()) / float64(total)

@@ -1,0 +1,167 @@
+package orchestrator
+
+import (
+	"sort"
+	"time"
+)
+
+// SweepPoint is one sweep cell in the progress view: enough to plot a
+// live dashboard without fetching every full JobRecord.
+type SweepPoint struct {
+	ID        string  `json:"id"`
+	Benchmark string  `json:"benchmark,omitempty"`
+	Hierarchy string  `json:"hierarchy,omitempty"`
+	Status    Status  `json:"status"`
+	Progress  float64 `json:"progress"`
+	// QueueSeconds / RunSeconds mirror the point's Timeline, including
+	// live accrual for queued/running points.
+	QueueSeconds float64 `json:"queue_seconds"`
+	RunSeconds   float64 `json:"run_seconds,omitempty"`
+	// Worker names the fleet worker executing (or having executed) the
+	// point; empty means the local pool.
+	Worker  string `json:"worker,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+	// Straggler marks a still-running point whose run time already
+	// exceeds the p95 of the sweep's completed points.
+	Straggler bool `json:"straggler,omitempty"`
+}
+
+// WorkerLoad aggregates one worker's share of a sweep.
+type WorkerLoad struct {
+	// Points is how many of the sweep's points this worker has touched
+	// (running or finished); Done counts the finished ones.
+	Points int `json:"points"`
+	Done   int `json:"done"`
+	// RunSeconds is total execution time attributed to this worker.
+	RunSeconds float64 `json:"run_seconds"`
+}
+
+// SweepProgress is the sweep-level aggregation served at GET
+// /v1/sweeps/{id}/progress: per-point states, throughput, ETA,
+// straggler detection and per-worker attribution.
+type SweepProgress struct {
+	ID      string         `json:"id"`
+	Total   int            `json:"total"`
+	ByState map[Status]int `json:"by_state"`
+	Pruned  int            `json:"pruned,omitempty"`
+	Done    bool           `json:"done"`
+	// ElapsedSeconds runs from the earliest submission to now (or to
+	// the last finish once every point is terminal).
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// PointsPerSecond is terminal points over elapsed time; ETASeconds
+	// extrapolates it over the remaining points (0 until at least one
+	// point finished).
+	PointsPerSecond float64 `json:"points_per_second"`
+	ETASeconds      float64 `json:"eta_seconds,omitempty"`
+	// P95RunSeconds is the 95th-percentile run time of completed
+	// points; a running point past it is flagged a straggler (needs at
+	// least minStragglerSamples completed points to mean anything).
+	P95RunSeconds float64                `json:"p95_run_seconds,omitempty"`
+	Stragglers    []string               `json:"stragglers,omitempty"`
+	ByWorker      map[string]*WorkerLoad `json:"by_worker,omitempty"`
+	Points        []SweepPoint           `json:"points"`
+}
+
+// minStragglerSamples is how many completed points a sweep needs before
+// straggler detection turns on: a p95 over two or three samples flags
+// noise, not stragglers.
+const minStragglerSamples = 4
+
+// Progress computes the sweep-level progress view for one sweep ID.
+func (o *Orchestrator) Progress(id string) (SweepProgress, bool) {
+	//lnuca:allow(determinism) live sweep progress accrual; telemetry only, never in result content or keys
+	now := time.Now()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ids, ok := o.sweeps[id]
+	if !ok {
+		return SweepProgress{}, false
+	}
+	sp := SweepProgress{ID: id, Total: len(ids), ByState: map[Status]int{}, Done: true}
+	var earliest, lastFinish time.Time
+	var completedRuns []float64 // run seconds of done points that ran
+	for _, jid := range ids {
+		t, ok := o.records[jid]
+		if !ok {
+			// Only terminal records are ever pruned.
+			sp.Pruned++
+			continue
+		}
+		rec := o.snapshot(t)
+		sp.ByState[rec.Status]++
+		if !rec.Status.Terminal() {
+			sp.Done = false
+		}
+		pt := SweepPoint{
+			ID:           rec.ID,
+			Benchmark:    rec.Job.Benchmark,
+			Hierarchy:    rec.Job.Hierarchy,
+			Status:       rec.Status,
+			Progress:     rec.Progress,
+			QueueSeconds: rec.Timeline.QueueSeconds,
+			RunSeconds:   rec.Timeline.RunSeconds,
+			Worker:       rec.Worker,
+			TraceID:      rec.TraceID,
+		}
+		sp.Points = append(sp.Points, pt)
+		if earliest.IsZero() || t.submittedAt.Before(earliest) {
+			earliest = t.submittedAt
+		}
+		if !t.finishedAt.IsZero() && t.finishedAt.After(lastFinish) {
+			lastFinish = t.finishedAt
+		}
+		if rec.Status == StatusDone && !t.cached && pt.RunSeconds > 0 {
+			completedRuns = append(completedRuns, pt.RunSeconds)
+		}
+	}
+	end := now
+	if sp.Done && !lastFinish.IsZero() {
+		end = lastFinish
+	}
+	if !earliest.IsZero() {
+		sp.ElapsedSeconds = end.Sub(earliest).Seconds()
+	}
+	terminal := sp.ByState[StatusDone] + sp.ByState[StatusFailed] + sp.ByState[StatusCanceled] + sp.Pruned
+	if sp.ElapsedSeconds > 0 {
+		sp.PointsPerSecond = float64(terminal) / sp.ElapsedSeconds
+	}
+	if remaining := sp.Total - terminal; remaining > 0 && sp.PointsPerSecond > 0 {
+		sp.ETASeconds = float64(remaining) / sp.PointsPerSecond
+	}
+	if len(completedRuns) >= minStragglerSamples {
+		sort.Float64s(completedRuns)
+		sp.P95RunSeconds = completedRuns[(len(completedRuns)*95+99)/100-1]
+		for i := range sp.Points {
+			pt := &sp.Points[i]
+			if pt.Status == StatusRunning && pt.RunSeconds > sp.P95RunSeconds {
+				pt.Straggler = true
+				sp.Stragglers = append(sp.Stragglers, pt.ID)
+			}
+		}
+	}
+	byWorker := make(map[string]*WorkerLoad)
+	for i := range sp.Points {
+		pt := &sp.Points[i]
+		if pt.Status == StatusQueued || (pt.Worker == "" && pt.RunSeconds == 0) {
+			continue
+		}
+		name := pt.Worker
+		if name == "" {
+			name = "local"
+		}
+		wl := byWorker[name]
+		if wl == nil {
+			wl = &WorkerLoad{}
+			byWorker[name] = wl
+		}
+		wl.Points++
+		if pt.Status.Terminal() {
+			wl.Done++
+		}
+		wl.RunSeconds += pt.RunSeconds
+	}
+	if len(byWorker) > 0 {
+		sp.ByWorker = byWorker
+	}
+	return sp, true
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracez"
 	"repro/internal/workload"
 )
 
@@ -23,13 +24,17 @@ import (
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	POST   /v1/sweeps      submit a benchmark x hierarchy matrix
 //	GET    /v1/sweeps/{id} aggregated sweep status
+//	GET    /v1/sweeps/{id}/progress  per-point progress, ETA, stragglers
 //	POST   /v1/traces      upload a recorded lnuca-trace-v1 stream
 //	GET    /v1/traces      list stored traces
 //	GET    /v1/traces/{id} one stored trace's provenance header
+//	GET    /v1/traces/{jobid}/spans  the job's distributed trace
+//	POST   /v1/spans       ingest client-side spans into the recorder
 //	GET    /v1/results     direct cache lookup by job content
 //	GET    /v1/benchmarks  the synthetic SPEC CPU2006 catalog
 //	GET    /healthz        liveness + build info + uptime
 //	GET    /metrics        JSON snapshot, or Prometheus text on request
+//	GET    /debug/tracez   flight-recorder HTML summary (tracing on)
 type Server struct {
 	orch  *Orchestrator
 	mux   *http.ServeMux
@@ -50,6 +55,10 @@ func NewServer(o *Orchestrator) *Server {
 	s.mux.HandleFunc("/v1/traces/", s.handleTraceByID)
 	s.mux.HandleFunc("/v1/results", s.handleResults)
 	s.mux.HandleFunc("/v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("/v1/spans", s.handleSpans)
+	if fr := o.Flight(); fr != nil {
+		s.mux.Handle("/debug/tracez", fr.Handler())
+	}
 	return s
 }
 
@@ -175,16 +184,31 @@ func RouteLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch p {
 	case "/healthz", "/metrics", "/v1/jobs", "/v1/sweeps", "/v1/traces",
-		"/v1/results", "/v1/benchmarks":
+		"/v1/results", "/v1/benchmarks", "/v1/spans", "/debug/tracez":
+		return p
+	// The fleet lease protocol mounts next to this API; its three POST
+	// routes are fixed strings, and the trace fetch embeds a content
+	// hash that must not become a label.
+	case "/fleet/v1/lease", "/fleet/v1/heartbeat", "/fleet/v1/complete":
 		return p
 	}
 	switch {
 	case strings.HasPrefix(p, "/v1/jobs/"):
 		return "/v1/jobs/{id}"
 	case strings.HasPrefix(p, "/v1/sweeps/"):
+		if strings.HasSuffix(p, "/progress") {
+			return "/v1/sweeps/{id}/progress"
+		}
 		return "/v1/sweeps/{id}"
 	case strings.HasPrefix(p, "/v1/traces/"):
+		if strings.HasSuffix(p, "/spans") {
+			return "/v1/traces/{id}/spans"
+		}
 		return "/v1/traces/{id}"
+	case strings.HasPrefix(p, "/fleet/v1/traces/"):
+		return "/fleet/v1/traces/{id}"
+	case strings.HasPrefix(p, "/fleet/v1/"):
+		return "/fleet/v1/other"
 	}
 	return "other"
 }
@@ -208,7 +232,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		rec, err := s.orch.Submit(job)
+		// A submitted traceparent ties this job's spans to the caller's
+		// trace (Client sends one); absent, the job roots a fresh trace.
+		rec, err := s.orch.SubmitCtx(tracez.Extract(r.Context(), r.Header.Get(tracez.HeaderName)), job)
 		if errors.Is(err, ErrQueueFull) {
 			writeThrottled(w, time.Second, "%v", err)
 			return
@@ -309,6 +335,15 @@ func (s *Server) handleSweepByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/sweeps/")
+	if sid, ok := strings.CutSuffix(id, "/progress"); ok {
+		prog, ok := s.orch.Progress(sid)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown sweep %q", sid)
+			return
+		}
+		writeJSON(w, http.StatusOK, prog)
+		return
+	}
 	st, ok := s.orch.Sweep(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown sweep %q", id)
@@ -353,13 +388,18 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTraceByID answers GET /v1/traces/{id} with the stored trace's
-// provenance header.
+// provenance header, and GET /v1/traces/{jobid}/spans with the job's
+// distributed trace from the flight recorder.
 func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/traces/")
+	if jid, ok := strings.CutSuffix(id, "/spans"); ok {
+		s.serveSpans(w, jid)
+		return
+	}
 	if id == "" || strings.Contains(id, "/") {
 		writeError(w, http.StatusNotFound, "bad trace path %q", r.URL.Path)
 		return
@@ -370,6 +410,86 @@ func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, hdr)
+}
+
+// serveSpans resolves a job ID (or, as a fallback, a raw 32-hex trace
+// ID) to its recorded spans and correlated lifecycle events.
+func (s *Server) serveSpans(w http.ResponseWriter, id string) {
+	fr := s.orch.Flight()
+	if fr == nil {
+		writeError(w, http.StatusNotFound, "tracing is not enabled on this daemon")
+		return
+	}
+	jobID := ""
+	traceID, ok := s.orch.TraceIDOf(id)
+	if ok {
+		jobID = id
+	} else {
+		// Not a live job ID; accept a raw trace ID so traces of pruned
+		// jobs stay reachable while the recorder retains them.
+		traceID = id
+	}
+	if traceID == "" {
+		writeError(w, http.StatusNotFound, "job %q has no recorded trace", id)
+		return
+	}
+	spans := fr.Spans(traceID)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, "no spans recorded for %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"job_id":   jobID,
+		"trace_id": traceID,
+		"spans":    spans,
+		"events":   fr.Events(traceID),
+	})
+}
+
+// maxSpanBatch bounds one POST /v1/spans body; a client ships a handful
+// of spans per job, so this is generous.
+const maxSpanBatch = 512
+
+// handleSpans ingests client-produced spans (the submit-side view of a
+// distributed trace) into the daemon's span recorder. Spans are
+// validated and must carry lnuca.-dotted names; the endpoint is
+// telemetry-only and never affects job state.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	rec := s.orch.SpanRecorder()
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "tracing is not enabled on this daemon")
+		return
+	}
+	var body struct {
+		Spans []tracez.Span `json:"spans"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad span body: %v", err)
+		return
+	}
+	if len(body.Spans) > maxSpanBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "span batch exceeds %d spans", maxSpanBatch)
+		return
+	}
+	accepted := 0
+	for _, sp := range body.Spans {
+		if err := tracez.ValidSpan(sp); err != nil {
+			continue
+		}
+		if !strings.HasPrefix(sp.Name, "lnuca.") {
+			continue
+		}
+		rec.Record(sp)
+		accepted++
+	}
+	writeJSON(w, http.StatusAccepted, map[string]interface{}{
+		"accepted": accepted,
+		"dropped":  len(body.Spans) - accepted,
+	})
 }
 
 // handleResults answers GET /v1/results?hierarchy=&levels=&benchmark=
